@@ -1,0 +1,202 @@
+// Command cosmos-sim regenerates the paper's evaluation figures (§4).
+//
+// Usage:
+//
+//	cosmos-sim -fig 6 -scale ci
+//	cosmos-sim -fig all -scale medium
+//	cosmos-sim -fig 11 -queries 250,1000,4000
+//
+// Each figure prints as a table of series against the x-axis, mirroring the
+// rows the paper plots. Scales: ci (fast, default), medium, paper (the full
+// 4096-node configuration — slow on one machine).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/prototype"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cosmos-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cosmos-sim", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, 10, 11, table2, or all")
+	scale := fs.String("scale", "ci", "experiment scale: ci, medium, paper")
+	k := fs.Int("k", 0, "cluster size parameter (0 = default 4)")
+	vmax := fs.Int("vmax", 0, "coarsening budget (0 = default 100)")
+	queries := fs.String("queries", "", "comma-separated query counts (overrides scale defaults)")
+	rounds := fs.Int("rounds", 0, "adaptation rounds / arrival intervals (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var s sim.Scale
+	switch *scale {
+	case "ci":
+		s = sim.ScaleCI
+	case "medium":
+		s = sim.ScaleMedium
+	case "paper":
+		s = sim.ScalePaper
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+
+	opts := sim.ExperimentOptions{K: *k, VMax: *vmax, Rounds: *rounds}
+	if *queries != "" {
+		counts, err := parseInts(*queries)
+		if err != nil {
+			return err
+		}
+		opts.QueryCounts = counts
+		if len(counts) > 0 {
+			opts.Queries = counts[len(counts)-1]
+		}
+	}
+
+	figs := strings.Split(*fig, ",")
+	if *fig == "all" {
+		figs = []string{"6", "7", "8", "9", "10", "11"}
+	}
+	for _, f := range figs {
+		if err := runFig(f, s, opts); err != nil {
+			return fmt.Errorf("fig %s: %w", f, err)
+		}
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad count %q: %v", p, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func runFig(fig string, s sim.Scale, opts sim.ExperimentOptions) error {
+	if fig == "11" {
+		return runFig11(opts)
+	}
+	w, err := sim.NewWorld(sim.ConfigFor(s))
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	var tables []*metrics.Table
+	switch fig {
+	case "6":
+		a, b, err := w.Fig6(opts)
+		if err != nil {
+			return err
+		}
+		tables = []*metrics.Table{a, b}
+	case "7":
+		a, b, err := w.Fig7(opts)
+		if err != nil {
+			return err
+		}
+		tables = []*metrics.Table{a, b}
+	case "8":
+		a, b, err := w.Fig8(opts)
+		if err != nil {
+			return err
+		}
+		tables = []*metrics.Table{a, b}
+	case "9":
+		a, b, err := w.Fig9(opts, nil)
+		if err != nil {
+			return err
+		}
+		tables = []*metrics.Table{a, b}
+	case "10":
+		a, b, migs, err := w.Fig10(opts)
+		if err != nil {
+			return err
+		}
+		tables = []*metrics.Table{a, b}
+		defer func() {
+			ratio := float64(migs["Remapping"]) / max(1, float64(migs["Adaptive"]))
+			fmt.Printf("migrations: adaptive=%d remapping=%d (ratio %.1fx; paper reports ~7x)\n\n",
+				migs["Adaptive"], migs["Remapping"], ratio)
+		}()
+	default:
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	for _, t := range tables {
+		if err := t.Write(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	fmt.Printf("(fig %s took %v)\n\n", fig, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runFig11(opts sim.ExperimentOptions) error {
+	counts := opts.QueryCounts
+	if len(counts) == 0 {
+		counts = []int{250, 1000, 4000}
+	}
+	w, err := prototype.NewWorld(30, trace.DefaultConfig(), 3)
+	if err != nil {
+		return err
+	}
+	cost := &metrics.Table{Title: "Fig 11(a) Normalized comm. cost (over COSMOS)", XLabel: "#queries"}
+	times := &metrics.Table{Title: "Fig 11(b) Normalized running time (over max)", XLabel: "#queries"}
+	var cCos, cOp, tCos, tOp []float64
+	for _, n := range counts {
+		cost.XS = append(cost.XS, fmt.Sprint(n))
+		times.XS = append(times.XS, fmt.Sprint(n))
+		cqs, err := w.GenerateQueries(n, 9)
+		if err != nil {
+			return err
+		}
+		res, err := w.Run(cqs, 2)
+		if err != nil {
+			return err
+		}
+		cCos = append(cCos, res.CosmosCost)
+		cOp = append(cOp, res.OpCost)
+		tCos = append(tCos, float64(res.CosmosTime.Microseconds()))
+		tOp = append(tOp, float64(res.OpTime.Microseconds()))
+	}
+	// Normalize as the paper does: costs over COSMOS, times over the max.
+	normCos := make([]float64, len(cCos))
+	normOp := make([]float64, len(cCos))
+	for i := range cCos {
+		normCos[i] = 1
+		normOp[i] = cOp[i] / cCos[i]
+	}
+	maxT := metrics.Max(append(append([]float64(nil), tCos...), tOp...))
+	cost.AddSeries("COSMOS", normCos)
+	cost.AddSeries("Op placement", normOp)
+	times.AddSeries("COSMOS", metrics.Normalize(tCos, maxT))
+	times.AddSeries("Op placement", metrics.Normalize(tOp, maxT))
+	for _, t := range []*metrics.Table{cost, times} {
+		if err := t.Write(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,471 @@
+// Package cosmos is the public API of this COSMOS reproduction — the
+// middleware of "Toward Massive Query Optimization in Large-Scale
+// Distributed Stream Systems" (Zhou, Aberer, Tan — Middleware 2008).
+//
+// COSMOS couples a content-based Publish/Subscribe substrate (which
+// eliminates duplicate data transfer and filters/projects data as early as
+// possible) with a hierarchical query-distribution middleware (which places
+// whole continuous queries on processors to balance load and minimize
+// weighted communication cost). Queries are written in the paper's CQL
+// subset; co-located queries with overlapping results are merged into one
+// superset query whose shared result stream is split back per user with
+// residual subscriptions (§2.1).
+//
+// Typical use:
+//
+//	m, _ := cosmos.New(graph, processors, cosmos.Config{})
+//	m.RegisterStream(cosmos.StreamDef{Name: "Station1", Source: src, ...})
+//	h, _ := m.Submit(`SELECT * FROM Station1 [Now] WHERE snowHeight > 10`,
+//		proxy, func(t stream.Tuple) { ... })
+//	m.Start()
+//	m.Publish(tuple)            // at sources, via the Pub/Sub
+//	m.Adapt()                   // periodic runtime re-optimization
+package cosmos
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/bitvec"
+	"repro/internal/engine"
+	"repro/internal/hierarchy"
+	"repro/internal/pubsub"
+	"repro/internal/query"
+	"repro/internal/querygraph"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// NodeID re-exports the topology node identifier.
+type NodeID = topology.NodeID
+
+// Tuple re-exports the stream element type.
+type Tuple = stream.Tuple
+
+// Config tunes the middleware.
+type Config struct {
+	// K is the coordinator-tree cluster-size parameter (default 4).
+	K int
+	// VMax is the per-coordinator coarsening budget (default 100).
+	VMax int
+	// Alpha is the load-imbalance slack of Eqn 3.1 (default 0.1).
+	Alpha float64
+	// Seed drives all randomized decisions (default 1).
+	Seed uint64
+	// DisableResultSharing turns off §2.1 superset-query merging
+	// (used by the sharing ablation).
+	DisableResultSharing bool
+}
+
+// StreamDef declares a source stream.
+type StreamDef struct {
+	Name   string
+	Schema stream.Schema
+	// Source is the node publishing the stream.
+	Source NodeID
+	// Substreams is the number of interest partitions (default 1).
+	Substreams int
+	// RatePerSubstream is the estimated data rate of each substream in
+	// bytes/sec, used by the optimizer.
+	RatePerSubstream float64
+	// AvgTupleBytes sizes tuples for traffic accounting (default 56).
+	AvgTupleBytes int
+}
+
+// Middleware is a COSMOS instance over a network of processors.
+type Middleware struct {
+	cfg    Config
+	oracle *topology.Oracle
+	procs  []NodeID
+
+	mu       sync.Mutex
+	registry *stream.Registry
+	defs     map[string]StreamDef
+	net      *pubsub.Network
+	tree     *hierarchy.Tree
+	engines  map[NodeID]*engine.Engine
+	handles  map[string]*QueryHandle
+	started  bool
+	nextID   int
+
+	subRates    []float64
+	sourceOfSub []NodeID
+
+	// inSubs tracks each processor's active input-subscription IDs.
+	inSubs map[NodeID][]string
+	// residuals maps query name -> how to split its result from the
+	// shared result stream.
+	residuals map[string]residualInfo
+}
+
+// New creates a middleware over the given topology and processor set.
+func New(g *topology.Graph, processors []NodeID, cfg Config) (*Middleware, error) {
+	if len(processors) == 0 {
+		return nil, fmt.Errorf("cosmos: no processors")
+	}
+	if cfg.K == 0 {
+		cfg.K = 4
+	}
+	if cfg.VMax == 0 {
+		cfg.VMax = 100
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &Middleware{
+		cfg:      cfg,
+		oracle:   topology.NewOracle(g),
+		procs:    append([]NodeID(nil), processors...),
+		registry: stream.NewRegistry(),
+		defs:     make(map[string]StreamDef),
+		engines:  make(map[NodeID]*engine.Engine),
+		handles:  make(map[string]*QueryHandle),
+	}, nil
+}
+
+// RegisterStream declares a source stream. All streams must be registered
+// before Start.
+func (m *Middleware) RegisterStream(def StreamDef) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return fmt.Errorf("cosmos: cannot register streams after Start")
+	}
+	if def.Substreams <= 0 {
+		def.Substreams = 1
+	}
+	if def.AvgTupleBytes <= 0 {
+		def.AvgTupleBytes = 56
+	}
+	s, err := m.registry.Register(def.Name, def.Schema, int(def.Source), def.Substreams, def.AvgTupleBytes)
+	if err != nil {
+		return err
+	}
+	m.defs[def.Name] = def
+	first, count := s.SubstreamRange()
+	for i := 0; i < count; i++ {
+		if err := m.registry.SetRate(first+i, def.RatePerSubstream); err != nil {
+			return err
+		}
+		m.subRates = append(m.subRates, def.RatePerSubstream)
+		m.sourceOfSub = append(m.sourceOfSub, def.Source)
+	}
+	return nil
+}
+
+// QueryHandle tracks one submitted query.
+type QueryHandle struct {
+	Name  string
+	Query *query.Query
+	Proxy NodeID
+
+	m    *Middleware
+	sink func(Tuple)
+	info querygraph.QueryInfo
+
+	mu        sync.Mutex
+	processor NodeID
+	delivered int64
+}
+
+// Processor returns the processor currently evaluating the query.
+func (h *QueryHandle) Processor() NodeID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.processor
+}
+
+// Delivered returns how many result tuples reached the user.
+func (h *QueryHandle) Delivered() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.delivered
+}
+
+// Submit parses and registers a continuous query whose results are
+// delivered to sink at the given proxy processor. Queries submitted before
+// Start are batch-distributed by Start; later submissions are routed online
+// through the coordinator tree (§3.6).
+func (m *Middleware) Submit(cql string, proxy NodeID, sink func(Tuple)) (*QueryHandle, error) {
+	q, err := query.Parse(cql)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.isProcessor(proxy) {
+		return nil, fmt.Errorf("cosmos: proxy %d is not a processor", proxy)
+	}
+	q.Name = fmt.Sprintf("Q%d", m.nextID)
+	m.nextID++
+	info, err := m.compile(q, proxy)
+	if err != nil {
+		return nil, err
+	}
+	h := &QueryHandle{
+		Name:      q.Name,
+		Query:     q,
+		Proxy:     proxy,
+		m:         m,
+		sink:      sink,
+		info:      info,
+		processor: -1,
+	}
+	m.handles[q.Name] = h
+
+	if m.started {
+		proc, err := m.tree.Insert(info)
+		if err != nil {
+			return nil, err
+		}
+		h.processor = proc
+		if err := m.rewire(proc); err != nil {
+			return nil, err
+		}
+		if err := m.wireUserSide(h); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// compile derives the optimizer's view of a query: substream interest over
+// its FROM streams, load and result-rate estimates.
+func (m *Middleware) compile(q *query.Query, proxy NodeID) (querygraph.QueryInfo, error) {
+	interest := bitvec.New(len(m.subRates))
+	var inputRate float64
+	for _, name := range q.StreamNames() {
+		s, ok := m.registry.Lookup(name)
+		if !ok {
+			return querygraph.QueryInfo{}, fmt.Errorf("cosmos: query references unknown stream %q", name)
+		}
+		first, count := s.SubstreamRange()
+		for i := 0; i < count; i++ {
+			interest.Set(first + i)
+			inputRate += m.subRates[first+i]
+		}
+		// Validate attribute references against the schema.
+		for _, p := range q.Where {
+			for _, col := range []*query.ColRef{p.Left.Col, p.Right.Col} {
+				if col == nil {
+					continue
+				}
+				ref, ok := q.RefByAlias(col.Alias)
+				if !ok || ref.Stream != name {
+					continue
+				}
+				if !s.Schema.HasAttr(col.Attr) {
+					return querygraph.QueryInfo{}, fmt.Errorf(
+						"cosmos: stream %q has no attribute %q", name, col.Attr)
+				}
+			}
+		}
+	}
+	return querygraph.QueryInfo{
+		Name:       q.Name,
+		Proxy:      proxy,
+		Load:       0.001 * inputRate,
+		Interest:   interest,
+		ResultRate: 0.1 * inputRate,
+		StateSize:  inputRate,
+	}, nil
+}
+
+// Start distributes the pending queries, builds the Pub/Sub overlay and the
+// per-processor engines, and wires all subscriptions.
+func (m *Middleware) Start() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return fmt.Errorf("cosmos: already started")
+	}
+	if len(m.defs) == 0 {
+		return fmt.Errorf("cosmos: no streams registered")
+	}
+
+	// Broker overlay spans processors and source nodes.
+	nodeSet := make(map[NodeID]bool, len(m.procs)+len(m.defs))
+	for _, p := range m.procs {
+		nodeSet[p] = true
+	}
+	for _, def := range m.defs {
+		nodeSet[def.Source] = true
+	}
+	nodes := make([]NodeID, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	net, err := pubsub.NewNetwork(m.oracle, nodes)
+	if err != nil {
+		return err
+	}
+	m.net = net
+	// Sources advertise their streams; processors advertise the result
+	// streams they may create.
+	for _, def := range m.defs {
+		b, _ := net.Broker(def.Source)
+		b.Advertise(def.Name)
+	}
+	for _, p := range m.procs {
+		b, _ := net.Broker(p)
+		b.Advertise(resultStreamName(p))
+		m.engines[p] = engine.New()
+	}
+
+	// Distribute the batch.
+	tree, err := hierarchy.Build(m.oracle, m.procs, nil, hierarchy.Config{
+		K: m.cfg.K, VMax: m.cfg.VMax, Alpha: m.cfg.Alpha, Seed: m.cfg.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	m.tree = tree
+	infos := make([]querygraph.QueryInfo, 0, len(m.handles))
+	names := make([]string, 0, len(m.handles))
+	for name := range m.handles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		infos = append(infos, m.handles[name].info)
+	}
+	if len(infos) > 0 {
+		if _, err := tree.Distribute(infos, m.subRates, m.sourceOfSub); err != nil {
+			return err
+		}
+	} else if _, err := tree.Distribute(nil, m.subRates, m.sourceOfSub); err != nil {
+		return err
+	}
+	for name, proc := range tree.Placement() {
+		if h, ok := m.handles[name]; ok {
+			h.processor = proc
+		}
+	}
+	m.started = true
+
+	// Wire every processor and every user.
+	for _, p := range m.procs {
+		if err := m.rewire(p); err != nil {
+			return err
+		}
+	}
+	for _, name := range names {
+		if err := m.wireUserSide(m.handles[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Publish injects a source tuple at its stream's source broker.
+func (m *Middleware) Publish(t Tuple) error {
+	m.mu.Lock()
+	def, ok := m.defs[t.Stream]
+	net := m.net
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("cosmos: unknown stream %q", t.Stream)
+	}
+	if net == nil {
+		return fmt.Errorf("cosmos: not started")
+	}
+	if t.Size == 0 {
+		t.Size = def.AvgTupleBytes
+	}
+	b, ok := net.Broker(def.Source)
+	if !ok {
+		return fmt.Errorf("cosmos: no broker at source %d", def.Source)
+	}
+	b.Publish(t)
+	return nil
+}
+
+// Adapt runs one hierarchical adaptation round and migrates queries whose
+// processor changed, rewiring subscriptions.
+func (m *Middleware) Adapt() (migrations int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.started {
+		return 0, fmt.Errorf("cosmos: not started")
+	}
+	rep, err := m.tree.Adapt(nil)
+	if err != nil {
+		return 0, err
+	}
+	touched := make(map[NodeID]bool)
+	for name, proc := range m.tree.Placement() {
+		h, ok := m.handles[name]
+		if !ok {
+			continue
+		}
+		if h.processor != proc {
+			touched[h.processor] = true
+			touched[proc] = true
+			h.processor = proc
+		}
+	}
+	for p := range touched {
+		if err := m.rewire(p); err != nil {
+			return rep.Migrations, err
+		}
+	}
+	if len(touched) > 0 {
+		for _, h := range m.handles {
+			if err := m.wireUserSide(h); err != nil {
+				return rep.Migrations, err
+			}
+		}
+	}
+	return rep.Migrations, nil
+}
+
+// Traffic returns the Pub/Sub substrate's traffic report.
+func (m *Middleware) Traffic() pubsub.TrafficReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.net == nil {
+		return pubsub.TrafficReport{}
+	}
+	return m.net.Traffic()
+}
+
+// EngineStats sums engine counters across processors.
+func (m *Middleware) EngineStats() engine.Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total engine.Stats
+	for _, e := range m.engines {
+		s := e.Stats()
+		total.Consumed += s.Consumed
+		total.Emitted += s.Emitted
+		total.Dropped += s.Dropped
+	}
+	return total
+}
+
+// Placement returns the current query→processor map.
+func (m *Middleware) Placement() map[string]NodeID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]NodeID, len(m.handles))
+	for name, h := range m.handles {
+		out[name] = h.processor
+	}
+	return out
+}
+
+func (m *Middleware) isProcessor(n NodeID) bool {
+	for _, p := range m.procs {
+		if p == n {
+			return true
+		}
+	}
+	return false
+}
+
+func resultStreamName(p NodeID) string { return fmt.Sprintf("results@%d", p) }

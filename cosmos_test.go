@@ -1,0 +1,177 @@
+package cosmos
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// testTopology builds a small WAN and returns (graph, processors).
+func testTopology(t *testing.T) (*topology.Graph, []NodeID) {
+	t.Helper()
+	cfg := topology.Config{
+		TransitDomains:      1,
+		TransitNodes:        2,
+		StubDomainsPerNode:  2,
+		StubNodes:           4,
+		InterTransitLatency: [2]float64{50, 100},
+		IntraTransitLatency: [2]float64{10, 20},
+		TransitStubLatency:  [2]float64{2, 5},
+		IntraStubLatency:    [2]float64{1, 2},
+		Seed:                3,
+	}
+	g, err := topology.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	procs, err := topology.SampleNodes(g, topology.Stub, 6, 3, nil)
+	if err != nil {
+		t.Fatalf("SampleNodes: %v", err)
+	}
+	return g, procs
+}
+
+func stationSchema() stream.Schema {
+	return stream.Schema{Attrs: []stream.Attribute{
+		{Name: "snowHeight", Type: stream.Float},
+	}}
+}
+
+// TestTable1EndToEnd runs the paper's §2.1 scenario: Q3 and Q4 over
+// Station1/Station2 are merged into a superset query at their shared
+// processor, and the shared result stream is split back per user by
+// residual subscriptions.
+func TestTable1EndToEnd(t *testing.T) {
+	g, procs := testTopology(t)
+	m, err := New(g, procs[:4], Config{K: 2, VMax: 10, Seed: 5})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	src1, src2 := procs[4], procs[5]
+	for _, def := range []StreamDef{
+		{Name: "Station1", Schema: stationSchema(), Source: src1, Substreams: 4, RatePerSubstream: 10},
+		{Name: "Station2", Schema: stationSchema(), Source: src2, Substreams: 4, RatePerSubstream: 10},
+	} {
+		if err := m.RegisterStream(def); err != nil {
+			t.Fatalf("RegisterStream(%s): %v", def.Name, err)
+		}
+	}
+
+	var q3Results, q4Results []Tuple
+	q3, err := m.Submit(`SELECT S2.* FROM Station1 [Range 30 Minutes] S1, Station2 [Now] S2
+		WHERE S1.snowHeight > S2.snowHeight AND S1.snowHeight >= 10`,
+		procs[0], func(t Tuple) { q3Results = append(q3Results, t) })
+	if err != nil {
+		t.Fatalf("Submit Q3: %v", err)
+	}
+	q4, err := m.Submit(`SELECT S1.snowHeight, S1.timestamp, S2.snowHeight, S2.timestamp
+		FROM Station1 [Range 1 Hour] S1, Station2 [Now] S2
+		WHERE S1.snowHeight > S2.snowHeight`,
+		procs[1], func(t Tuple) { q4Results = append(q4Results, t) })
+	if err != nil {
+		t.Fatalf("Submit Q4: %v", err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+
+	// Feed readings. Timestamps in ms; S1 readings land inside/outside
+	// the 30-minute window; snow heights straddle the >= 10 filter.
+	pub := func(streamName string, ts int64, snow float64) {
+		err := m.Publish(Tuple{
+			Stream:    streamName,
+			Timestamp: ts,
+			Attrs:     map[string]stream.Value{"snowHeight": stream.FloatVal(snow)},
+			Size:      24,
+		})
+		if err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+	}
+	const minute = 60_000
+	pub("Station1", 0*minute, 15)  // old S1 reading: outside 30m at t=45m, inside 1h
+	pub("Station1", 40*minute, 8)  // S1 below Q3's >= 10 filter
+	pub("Station1", 42*minute, 20) // S1 inside both windows, passes filter
+	pub("Station2", 45*minute, 12) // S2 arrival triggers joins
+
+	// Q4 (1-hour window, no filter): S2=12 joins S1 tuples with
+	// snowHeight > 12: {15 @0m, 20 @42m} -> 2 results.
+	if got := len(q4Results); got != 2 {
+		t.Fatalf("Q4 delivered %d results, want 2 (results: %v)", got, q4Results)
+	}
+	// Q3 (30-minute window, S1.snowHeight >= 10): only {20 @42m} -> 1.
+	if got := len(q3Results); got != 1 {
+		t.Fatalf("Q3 delivered %d results, want 1 (results: %v)", got, q3Results)
+	}
+
+	// Q3's projection is S2.*: its result must carry S2 attributes only.
+	res := q3Results[0]
+	if _, ok := res.Attrs["S2.snowHeight"]; !ok {
+		t.Errorf("Q3 result missing S2.snowHeight: %v", res.Attrs)
+	}
+	if _, ok := res.Attrs["S1.snowHeight"]; ok {
+		t.Errorf("Q3 result leaked S1.snowHeight: %v", res.Attrs)
+	}
+
+	if q3.Delivered() != 1 || q4.Delivered() != 2 {
+		t.Errorf("handle counters: q3=%d q4=%d, want 1/2", q3.Delivered(), q4.Delivered())
+	}
+
+	// Sharing: when Q3 and Q4 are co-located, the processor runs ONE
+	// superset query (Q5 of Table 1).
+	place := m.Placement()
+	if place[q3.Name] == place[q4.Name] {
+		eng := m.engines[place[q3.Name]]
+		if names := eng.QueryNames(); len(names) != 1 {
+			t.Errorf("expected one merged query at shared processor, got %v", names)
+		}
+	}
+
+	if tr := m.Traffic(); tr.DataBytes == 0 || tr.WeightedCost == 0 {
+		t.Errorf("no traffic accounted: %+v", tr)
+	}
+}
+
+// TestOnlineSubmitAfterStart inserts a query online and checks delivery.
+func TestOnlineSubmitAfterStart(t *testing.T) {
+	g, procs := testTopology(t)
+	m, err := New(g, procs[:4], Config{K: 2, VMax: 10, Seed: 5})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	src := procs[4]
+	if err := m.RegisterStream(StreamDef{
+		Name: "Station1", Schema: stationSchema(), Source: src, Substreams: 2, RatePerSubstream: 5,
+	}); err != nil {
+		t.Fatalf("RegisterStream: %v", err)
+	}
+	// A first query so Start has a distribution.
+	if _, err := m.Submit(`SELECT * FROM Station1 [Now] WHERE snowHeight > 100`, procs[0], nil); err != nil {
+		t.Fatalf("Submit warmup: %v", err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+
+	var got []Tuple
+	h, err := m.Submit(`SELECT * FROM Station1 [Now] WHERE snowHeight > 5`,
+		procs[1], func(t Tuple) { got = append(got, t) })
+	if err != nil {
+		t.Fatalf("Submit online: %v", err)
+	}
+	if h.Processor() < 0 {
+		t.Fatal("online query not placed")
+	}
+	err = m.Publish(Tuple{
+		Stream:    "Station1",
+		Timestamp: 1000,
+		Attrs:     map[string]stream.Value{"snowHeight": stream.FloatVal(9)},
+	})
+	if err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("online query delivered %d results, want 1", len(got))
+	}
+}

@@ -1,0 +1,207 @@
+package bitvec
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestClear(t *testing.T) {
+	v := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if v.Test(i) {
+			t.Errorf("bit %d set in fresh vector", i)
+		}
+		v.Set(i)
+		if !v.Test(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+		v.Clear(i)
+		if v.Test(i) {
+			t.Errorf("bit %d still set after Clear", i)
+		}
+	}
+}
+
+func TestOutOfRangeIgnored(t *testing.T) {
+	v := New(10)
+	v.Set(-1)
+	v.Set(10)
+	v.Set(1 << 20)
+	if v.Count() != 0 {
+		t.Errorf("out-of-range Set changed the vector: %v", v)
+	}
+	if v.Test(-1) || v.Test(10) {
+		t.Error("out-of-range Test returned true")
+	}
+}
+
+func TestCountAndIndices(t *testing.T) {
+	v := FromIndices(200, []int{3, 64, 65, 199})
+	if got := v.Count(); got != 4 {
+		t.Errorf("Count = %d, want 4", got)
+	}
+	want := []int{3, 64, 65, 199}
+	got := v.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("Indices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Indices[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOverlapAndContains(t *testing.T) {
+	a := FromIndices(100, []int{1, 2, 3, 70})
+	b := FromIndices(100, []int{2, 3, 99})
+	if got := a.OverlapCount(b); got != 2 {
+		t.Errorf("OverlapCount = %d, want 2", got)
+	}
+	if !a.Overlaps(b) {
+		t.Error("Overlaps = false, want true")
+	}
+	c := FromIndices(100, []int{2, 3})
+	if !a.Contains(c) {
+		t.Error("a should contain {2,3}")
+	}
+	if c.Contains(a) {
+		t.Error("{2,3} should not contain a")
+	}
+	empty := New(100)
+	if !a.Contains(empty) {
+		t.Error("any vector contains the empty vector")
+	}
+	if a.Overlaps(empty) {
+		t.Error("nothing overlaps the empty vector")
+	}
+}
+
+func TestOrAndNotLengthMismatch(t *testing.T) {
+	a, b := New(10), New(20)
+	if err := a.Or(b); err == nil {
+		t.Error("Or accepted mismatched lengths")
+	}
+	if err := a.AndNot(b); err == nil {
+		t.Error("AndNot accepted mismatched lengths")
+	}
+}
+
+func TestWeightedSum(t *testing.T) {
+	weights := make([]float64, 70)
+	for i := range weights {
+		weights[i] = float64(i)
+	}
+	v := FromIndices(70, []int{1, 64, 69})
+	if got, want := v.WeightedSum(weights), 1.0+64+69; got != want {
+		t.Errorf("WeightedSum = %v, want %v", got, want)
+	}
+	o := FromIndices(70, []int{64, 69, 2})
+	if got, want := v.OverlapWeightedSum(o, weights), 64.0+69; got != want {
+		t.Errorf("OverlapWeightedSum = %v, want %v", got, want)
+	}
+}
+
+func TestString(t *testing.T) {
+	v := FromIndices(10, []int{1, 5, 9})
+	if got := v.String(); got != "{1,5,9}" {
+		t.Errorf("String = %q, want {1,5,9}", got)
+	}
+}
+
+// randomVec builds a reproducible random vector for property tests.
+func randomVec(r *rand.Rand, n int) *Vector {
+	v := New(n)
+	for i := 0; i < n; i++ {
+		if r.IntN(3) == 0 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+func TestQuickOverlapSymmetric(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 1))
+		a, b := randomVec(r, 257), randomVec(r, 257)
+		return a.OverlapCount(b) == b.OverlapCount(a) &&
+			a.Overlaps(b) == b.Overlaps(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 2))
+		a, b := randomVec(r, 193), randomVec(r, 193)
+		u, err := Union(a, b)
+		if err != nil {
+			return false
+		}
+		// The union contains both operands, and its count is given by
+		// inclusion-exclusion.
+		if !u.Contains(a) || !u.Contains(b) {
+			return false
+		}
+		return u.Count() == a.Count()+b.Count()-a.OverlapCount(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWeightedSumMatchesIndices(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 3))
+		v := randomVec(r, 130)
+		weights := make([]float64, 130)
+		for i := range weights {
+			weights[i] = r.Float64()
+		}
+		var want float64
+		for _, i := range v.Indices() {
+			want += weights[i]
+		}
+		got := v.WeightedSum(weights)
+		diff := got - want
+		return diff < 1e-9 && diff > -1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCloneIndependent(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 4))
+		a := randomVec(r, 99)
+		c := a.Clone()
+		if !c.Equal(a) {
+			return false
+		}
+		c.Set(5)
+		c.Clear(7)
+		// a unchanged at those positions unless it already had them.
+		orig := randomVec(rand.New(rand.NewPCG(seed, 4)), 99)
+		return a.Equal(orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkOverlapWeightedSum(b *testing.B) {
+	r := rand.New(rand.NewPCG(1, 1))
+	x, y := randomVec(r, 20000), randomVec(r, 20000)
+	weights := make([]float64, 20000)
+	for i := range weights {
+		weights[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.OverlapWeightedSum(y, weights)
+	}
+}

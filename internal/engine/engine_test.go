@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+func reading(streamName string, ts int64, snow float64) stream.Tuple {
+	return stream.Tuple{
+		Stream:    streamName,
+		Timestamp: ts,
+		Attrs:     map[string]stream.Value{"snowHeight": stream.FloatVal(snow)},
+		Size:      24,
+	}
+}
+
+const minute = int64(60_000)
+
+func TestSingleStreamSelection(t *testing.T) {
+	e := New()
+	q := query.MustParse(`SELECT * FROM R [Now] WHERE snowHeight > 10`)
+	q.Name = "sel"
+	var out []stream.Tuple
+	if err := e.AddQuery(q, "res", func(t stream.Tuple) { out = append(out, t) }); err != nil {
+		t.Fatal(err)
+	}
+	e.Process(reading("R", 1, 15))
+	e.Process(reading("R", 2, 5))
+	if len(out) != 1 {
+		t.Fatalf("emitted %d, want 1", len(out))
+	}
+	if out[0].Stream != "res" {
+		t.Errorf("result stream = %q", out[0].Stream)
+	}
+	if v, ok := out[0].Attrs["R.snowHeight"]; !ok || v.F != 15 {
+		t.Errorf("result attrs = %v", out[0].Attrs)
+	}
+	st := e.Stats()
+	if st.Consumed != 2 || st.Emitted != 1 || st.Dropped != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestPaperQ4Join replays the Table 1 Q4 semantics: a [Range 1 Hour] window
+// on S1 joined with [Now] arrivals on S2 under S1.snowHeight > S2.snowHeight.
+func TestPaperQ4Join(t *testing.T) {
+	e := New()
+	q := query.MustParse(`SELECT S1.snowHeight, S1.timestamp, S2.snowHeight, S2.timestamp
+		FROM Station1 [Range 1 Hour] S1, Station2 [Now] S2
+		WHERE S1.snowHeight > S2.snowHeight`)
+	q.Name = "q4"
+	var out []stream.Tuple
+	if err := e.AddQuery(q, "res", func(t stream.Tuple) { out = append(out, t) }); err != nil {
+		t.Fatal(err)
+	}
+	e.Process(reading("Station1", 0*minute, 15))
+	e.Process(reading("Station1", 40*minute, 8))
+	e.Process(reading("Station1", 42*minute, 20))
+	e.Process(reading("Station2", 45*minute, 12)) // joins 15@0m and 20@42m
+
+	if len(out) != 2 {
+		t.Fatalf("emitted %d, want 2: %v", len(out), out)
+	}
+	for _, r := range out {
+		s1 := r.Attrs["S1.snowHeight"].F
+		if s1 != 15 && s1 != 20 {
+			t.Errorf("unexpected S1.snowHeight %v", s1)
+		}
+		if r.Attrs["S2.snowHeight"].F != 12 {
+			t.Errorf("S2.snowHeight = %v", r.Attrs["S2.snowHeight"])
+		}
+		if _, ok := r.Attrs["S1.timestamp"]; !ok {
+			t.Error("missing S1.timestamp projection")
+		}
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	e := New()
+	q := query.MustParse(`SELECT S1.snowHeight FROM Station1 [Range 30 Minutes] S1, Station2 [Now] S2
+		WHERE S1.snowHeight > S2.snowHeight`)
+	q.Name = "w"
+	var out []stream.Tuple
+	if err := e.AddQuery(q, "res", func(t stream.Tuple) { out = append(out, t) }); err != nil {
+		t.Fatal(err)
+	}
+	e.Process(reading("Station1", 0, 50))         // will expire
+	e.Process(reading("Station1", 40*minute, 40)) // inside window at t=45m
+	e.Process(reading("Station2", 45*minute, 10)) // probe
+	if len(out) != 1 || out[0].Attrs["S1.snowHeight"].F != 40 {
+		t.Fatalf("emitted %v, want one join with S1=40", out)
+	}
+}
+
+func TestNowWindowExactTimestamp(t *testing.T) {
+	e := New()
+	q := query.MustParse(`SELECT S2.snowHeight FROM Station1 [Range 1 Hour] S1, Station2 [Now] S2
+		WHERE S1.snowHeight > S2.snowHeight`)
+	q.Name = "now"
+	var out []stream.Tuple
+	if err := e.AddQuery(q, "res", func(t stream.Tuple) { out = append(out, t) }); err != nil {
+		t.Fatal(err)
+	}
+	// S2 arrives first; then S1 at the SAME timestamp joins it ([Now]
+	// admits same-instant tuples), but an S1 at a later timestamp does
+	// not.
+	e.Process(reading("Station2", 10*minute, 5))
+	e.Process(reading("Station1", 10*minute, 9)) // same instant: join
+	e.Process(reading("Station1", 11*minute, 9)) // S2 window expired
+	if len(out) != 1 {
+		t.Fatalf("emitted %d, want 1: %v", len(out), out)
+	}
+}
+
+func TestRemoveQueryReleasesState(t *testing.T) {
+	e := New()
+	q := query.MustParse(`SELECT S1.snowHeight FROM Station1 [Range 1 Hour] S1, Station2 [Now] S2
+		WHERE S1.snowHeight > S2.snowHeight`)
+	q.Name = "rm"
+	if err := e.AddQuery(q, "res", nil); err != nil {
+		t.Fatal(err)
+	}
+	e.Process(reading("Station1", 1, 10))
+	e.Process(reading("Station1", 2, 11))
+	if st := e.QueryState("rm"); st != 2 {
+		t.Errorf("QueryState = %d, want 2", st)
+	}
+	n, err := e.RemoveQuery("rm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("released state = %d, want 2", n)
+	}
+	if names := e.QueryNames(); len(names) != 0 {
+		t.Errorf("queries left: %v", names)
+	}
+	if _, err := e.RemoveQuery("rm"); err == nil {
+		t.Error("double remove succeeded")
+	}
+	// Tuples after removal are ignored.
+	e.Process(reading("Station1", 3, 12))
+}
+
+func TestAddQueryValidation(t *testing.T) {
+	e := New()
+	q := query.MustParse(`SELECT * FROM R [Now]`)
+	if err := e.AddQuery(q, "res", nil); err == nil {
+		t.Error("unnamed query accepted")
+	}
+	q.Name = "dup"
+	if err := e.AddQuery(q, "res", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddQuery(q, "res", nil); err == nil {
+		t.Error("duplicate query accepted")
+	}
+}
+
+func TestOutOfOrderInsertKeepsWindowSorted(t *testing.T) {
+	e := New()
+	q := query.MustParse(`SELECT S1.snowHeight FROM Station1 [Range 1 Hour] S1, Station2 [Now] S2
+		WHERE S1.snowHeight > S2.snowHeight`)
+	q.Name = "ooo"
+	var out []stream.Tuple
+	if err := e.AddQuery(q, "res", func(t stream.Tuple) { out = append(out, t) }); err != nil {
+		t.Fatal(err)
+	}
+	// Slightly out-of-order S1 arrivals.
+	e.Process(reading("Station1", 20*minute, 30))
+	e.Process(reading("Station1", 10*minute, 31))
+	e.Process(reading("Station1", 30*minute, 32))
+	e.Process(reading("Station2", 35*minute, 1))
+	if len(out) != 3 {
+		t.Fatalf("emitted %d, want 3", len(out))
+	}
+}
+
+func BenchmarkJoinProbe(b *testing.B) {
+	e := New()
+	q := query.MustParse(`SELECT S1.snowHeight FROM Station1 [Range 1 Hour] S1, Station2 [Now] S2
+		WHERE S1.snowHeight > S2.snowHeight`)
+	q.Name = "bench"
+	if err := e.AddQuery(q, "res", nil); err != nil {
+		b.Fatal(err)
+	}
+	for i := int64(0); i < 100; i++ {
+		e.Process(reading("Station1", i*1000, float64(i%50)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Process(reading("Station2", 100_000+int64(i), 25))
+	}
+}

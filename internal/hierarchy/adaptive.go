@@ -1,0 +1,298 @@
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/adapt"
+	"repro/internal/mapping"
+	"repro/internal/querygraph"
+)
+
+// AdaptReport summarizes one adaptation round (§3.7).
+type AdaptReport struct {
+	// Migrations counts queries whose processor changed this round.
+	Migrations int
+	// MovedLoad and MovedState total the load and operator state of
+	// migrated queries.
+	MovedLoad  float64
+	MovedState float64
+}
+
+// Adapt runs one hierarchical adaptation round, initiated at the root and
+// propagated level by level (§3.7): every coordinator refreshes statistics,
+// runs the two-phase Algorithm 3 (diffusion-guided re-balance plus
+// refinement) over its level, and hands each child its share — expanding
+// vertices that migrated in from other subtrees via the tagging
+// coordinators' registries. Queries physically migrate only at the end,
+// which is when the report counts them.
+//
+// loadOf, when non-nil, supplies refreshed per-query load estimates (§3.8);
+// stream-rate changes are picked up automatically because the tree shares
+// the rate slice passed to Distribute.
+func (t *Tree) Adapt(loadOf func(name string) float64) (*AdaptReport, error) {
+	if t.Root.graph == nil {
+		return nil, fmt.Errorf("hierarchy: no distribution state; run Distribute first")
+	}
+	if loadOf != nil {
+		t.loadOf = loadOf
+	}
+	prev := t.Placement()
+
+	// Refresh per-query load estimates (§3.8).
+	if t.loadOf != nil {
+		for name, q := range t.queries {
+			q.Load = t.loadOf(name)
+			t.queries[name] = q
+		}
+	}
+	// Periodic query-graph propagation (§3.4): rebuild the interest-based
+	// hierarchy bottom-up over the current query set, so coarse vertices
+	// reflect current statistics and group structure rather than the
+	// grouping frozen at initial-distribution time.
+	queries := make([]querygraph.QueryInfo, 0, len(t.queries))
+	for _, q := range t.queries {
+		queries = append(queries, q)
+	}
+	sort.Slice(queries, func(i, j int) bool { return queries[i].Name < queries[j].Name })
+	for _, c := range t.All {
+		c.expand = make(map[string][]*querygraph.Vertex)
+		c.keySeq = 0
+	}
+	rootIncoming, err := t.upwardPass(queries, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.descendCurrent(t.Root, rootIncoming, false, true, false); err != nil {
+		return nil, err
+	}
+
+	rep := &AdaptReport{}
+	for name, proc := range t.placement {
+		if old, ok := prev[name]; ok && old != proc {
+			rep.Migrations++
+			q := t.queries[name]
+			rep.MovedLoad += q.Load
+			rep.MovedState += q.StateSize
+		}
+	}
+	return rep, nil
+}
+
+// SetLoadEstimator installs a per-query load refresher used by Adapt.
+func (t *Tree) SetLoadEstimator(loadOf func(name string) float64) {
+	t.loadOf = loadOf
+}
+
+// descendCurrent processes one coordinator against the CURRENT placement
+// and recurses. With useStored, the coordinator's stored graph is refreshed
+// and reused (the root at the start of an adaptation round); otherwise the
+// working set comes from the parent's decisions and is warm-started from
+// the current placement. With rebalance, Algorithm 3 runs at this level;
+// without it the warm assignment is installed verbatim (placement
+// restoration). With pure, coarsening only merges vertices placed on the
+// same processor so the current placement is preserved exactly.
+func (t *Tree) descendCurrent(c *Coordinator, incoming []*querygraph.Vertex, useStored, rebalance, pure bool) error {
+	var g *querygraph.Graph
+	var assign mapping.Assignment
+	var fineShares func(res mapping.Assignment) ([][]*querygraph.Vertex, error)
+
+	if useStored {
+		// Refresh the stored graph in place: weights and edges.
+		g = c.graph
+		t.refreshWeights(g)
+		g.ComputeEdges()
+		assign = c.assign.Clone()
+		fineShares = func(res mapping.Assignment) ([][]*querygraph.Vertex, error) {
+			shares := make([][]*querygraph.Vertex, c.assignableCount())
+			for vi, v := range g.Vertices {
+				if len(v.Queries) == 0 {
+					continue
+				}
+				k := res[vi]
+				if k < 0 || k >= len(shares) {
+					return nil, fmt.Errorf("hierarchy: %s: vertex %d on non-child target %d", c.Name, vi, k)
+				}
+				shares[k] = append(shares[k], v)
+			}
+			return shares, nil
+		}
+	} else {
+		work, err := t.expandAll(incoming, c.Level-1)
+		if err != nil {
+			return err
+		}
+		prep, err := t.prepare(c, work)
+		if err != nil {
+			return err
+		}
+		t.refreshWeights(prep.g)
+		prep.g.ComputeEdges()
+
+		// Coarsen by interest (heavy-edge matching), as in the initial
+		// distribution: interest-grouped vertices are what lets the
+		// rebalance escape the local minima single-query moves cannot.
+		// The per-coordinator RNG is fixed, so grouping is stable
+		// across rounds and constituents of a vertex are co-located
+		// from the previous round — the warm majority start is then
+		// exact except right after workload changes. At the leaf,
+		// queries stay atomic: the diffusion flows of Algorithm 3 are
+		// small relative to coarse-chunk weights, and per-processor
+		// balancing needs query granularity. In pure mode only
+		// same-processor merges are allowed, preserving placement.
+		warmOf := func(v *querygraph.Vertex) int { return t.warmTarget(c, v) }
+		opts := querygraph.CoarsenOptions{
+			VMax:       t.Cfg.VMax,
+			Rng:        t.coordRng(c),
+			NoQN:       true,
+			CountQOnly: true,
+		}
+		if pure {
+			opts.CanMerge = t.samePlacedProc
+		}
+		if c.IsLeaf() {
+			opts.VMax = len(prep.g.Vertices) + 1
+		}
+		res := prep.g.Coarsen(opts)
+		g = res.Graph
+		assign = make(mapping.Assignment, len(g.Vertices))
+		m := mapping.NewMapper(g, c.ng, mapping.Options{Alpha: t.Cfg.Alpha, Rng: t.coordRng(c)})
+		loads := make([]float64, c.ng.Len())
+		for vi, v := range g.Vertices {
+			switch {
+			case v.IsN():
+				assign[vi] = v.Clu
+			case warmOf(v) >= 0:
+				assign[vi] = warmOf(v)
+			default:
+				assign[vi] = mapping.Unassigned
+			}
+			if assign[vi] >= 0 {
+				loads[assign[vi]] += v.Weight
+			}
+		}
+		for vi, v := range g.Vertices {
+			if assign[vi] == mapping.Unassigned {
+				assign[vi] = m.BestTarget(assign, vi, loads)
+				loads[assign[vi]] += v.Weight
+			}
+		}
+		fineShares = func(resA mapping.Assignment) ([][]*querygraph.Vertex, error) {
+			shares := make([][]*querygraph.Vertex, c.assignableCount())
+			for ci, v := range g.Vertices {
+				if len(v.Queries) == 0 {
+					continue
+				}
+				k := resA[ci]
+				if k < 0 || k >= len(shares) {
+					return nil, fmt.Errorf("hierarchy: %s: vertex %d on non-child target %d", c.Name, ci, k)
+				}
+				for _, fi := range res.CoarseToFine[ci] {
+					fv := prep.g.Vertices[fi]
+					if len(fv.Queries) > 0 {
+						shares[k] = append(shares[k], fv)
+					}
+				}
+			}
+			return shares, nil
+		}
+	}
+
+	final := assign
+	if rebalance {
+		result, err := adapt.Rebalance(g, c.ng, assign, adapt.Options{
+			Alpha: t.Cfg.Alpha,
+			Rng:   t.coordRng(c),
+		})
+		if err != nil {
+			return fmt.Errorf("hierarchy: %s: %w", c.Name, err)
+		}
+		final = result.Assignment
+	}
+	t.setState(c, g, final)
+
+	shares, err := fineShares(final)
+	if err != nil {
+		return err
+	}
+	if c.IsLeaf() {
+		for k, share := range shares {
+			proc := c.ng.Vertices[k].Node
+			for _, v := range share {
+				for _, q := range v.Queries {
+					t.placement[q.Name] = proc
+				}
+			}
+		}
+		return nil
+	}
+	for k, share := range shares {
+		if err := t.descendCurrent(c.Children[k], share, false, rebalance, pure); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// samePlacedProc reports whether two query-bearing vertices are currently
+// placed on the same processor (pure n-vertices merge freely). Because it
+// is applied at every coarsening step, vertices stay placement-pure by
+// induction and checking the first constituent suffices.
+func (t *Tree) samePlacedProc(u, v *querygraph.Vertex) bool {
+	if len(u.Queries) == 0 || len(v.Queries) == 0 {
+		return true
+	}
+	pu, okU := t.placement[u.Queries[0].Name]
+	pv, okV := t.placement[v.Queries[0].Name]
+	return okU && okV && pu == pv
+}
+
+// warmTarget returns the target index at c where the vertex's constituent
+// queries currently live (load-weighted majority), or -1 when unknown.
+func (t *Tree) warmTarget(c *Coordinator, v *querygraph.Vertex) int {
+	weights := make(map[int]float64)
+	for _, q := range v.Queries {
+		proc, ok := t.placement[q.Name]
+		if !ok {
+			continue
+		}
+		if k, covered := c.childOfNode[proc]; covered {
+			w := q.Load
+			if w <= 0 {
+				w = 1e-9
+			}
+			weights[k] += w
+		}
+	}
+	best, bestW := -1, 0.0
+	for k, w := range weights {
+		if w > bestW || (w == bestW && (best < 0 || k < best)) {
+			best, bestW = k, w
+		}
+	}
+	return best
+}
+
+// refreshWeights re-estimates q-vertex weights from the installed load
+// estimator (§3.8). Without an estimator, recorded loads are kept.
+func (t *Tree) refreshWeights(g *querygraph.Graph) {
+	if t.loadOf == nil {
+		return
+	}
+	for _, v := range g.Vertices {
+		if len(v.Queries) == 0 {
+			continue
+		}
+		var sum float64
+		for i := range v.Queries {
+			l := t.loadOf(v.Queries[i].Name)
+			v.Queries[i].Load = l
+			sum += l
+			if q, ok := t.queries[v.Queries[i].Name]; ok {
+				q.Load = l
+				t.queries[v.Queries[i].Name] = q
+			}
+		}
+		v.Weight = sum
+	}
+}

@@ -1,0 +1,167 @@
+package hierarchy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/querygraph"
+	"repro/internal/topology"
+)
+
+// Insert routes a new query through the coordinator tree (§3.6): starting
+// at the root, each coordinator estimates the new vertex's edges against its
+// current query graph, picks the child that minimizes the WEC increase
+// without violating the load constraint, and forwards the query; the leaf
+// assigns a processor. It returns the chosen processor.
+//
+// Distribute must have run first so coordinators have mapped state.
+func (t *Tree) Insert(q querygraph.QueryInfo) (topology.NodeID, error) {
+	c := t.Root
+	for {
+		if c.graph == nil || c.ng == nil {
+			return -1, fmt.Errorf("hierarchy: %s has no distribution state; run Distribute first", c.Name)
+		}
+		k, err := t.routeAt(c, q)
+		if err != nil {
+			return -1, err
+		}
+		// Record the vertex in the coordinator's graph so subsequent
+		// insertions and adaptation rounds see it. Edges are computed
+		// lazily at the next adaptation round's graph rebuild.
+		v := atomVertex(q)
+		c.graph.AddVertex(v)
+		c.assign = append(c.assign, k)
+		c.loads[k] += q.Load
+
+		if c.IsLeaf() {
+			proc := c.ng.Vertices[k].Node
+			t.placement[q.Name] = proc
+			t.queries[q.Name] = q
+			return proc, nil
+		}
+		c = c.Children[k]
+	}
+}
+
+// RouteAtRoot performs only the root coordinator's routing decision for a
+// query, without inserting it — the primitive timed by the throughput
+// experiment of Fig 9(b), which studies the root because it is the
+// potential bottleneck of the system (§3.6).
+func (t *Tree) RouteAtRoot(q querygraph.QueryInfo) (int, error) {
+	if t.Root.graph == nil {
+		return -1, fmt.Errorf("hierarchy: no distribution state; run Distribute first")
+	}
+	return t.routeAt(t.Root, q)
+}
+
+// routeAt scores every assignable target of c for the new query and returns
+// the best one. The cost of a target is the WEC increase: overlap edges
+// against the coordinator's current query vertices plus source and result
+// edges against the query's referenced nodes, each weighted by the latency
+// from the candidate target to the referenced vertex's current position.
+func (t *Tree) routeAt(c *Coordinator, q querygraph.QueryInfo) (int, error) {
+	g, ng := c.graph, c.ng
+	n := c.assignableCount()
+	costs := make([]float64, n)
+
+	// Overlap edges to existing query vertices.
+	for vi, v := range g.Vertices {
+		if len(v.Queries) == 0 || v.Interest == nil || c.assign[vi] < 0 {
+			continue
+		}
+		w := q.Interest.OverlapWeightedSum(v.Interest, g.SubRates)
+		if w == 0 {
+			continue
+		}
+		pos := c.assign[vi]
+		for k := 0; k < n; k++ {
+			costs[k] += w * ng.Latency(k, pos)
+		}
+	}
+	// Source edges: demand per origin node of the query's substreams.
+	for _, idx := range q.Interest.Indices() {
+		rate := g.SubRates[idx]
+		if rate == 0 {
+			continue
+		}
+		src := g.SourceOfSub[idx]
+		pin, _, ok := c.pinOf(src)
+		if !ok {
+			continue
+		}
+		for k := 0; k < n; k++ {
+			costs[k] += rate * ng.Latency(k, pin)
+		}
+	}
+	// Result edge to the proxy.
+	if pin, _, ok := c.pinOf(q.Proxy); ok {
+		for k := 0; k < n; k++ {
+			costs[k] += q.ResultRate * ng.Latency(k, pin)
+		}
+	}
+
+	// Load feasibility under Eqn 3.1 with the query's load included.
+	total := q.Load
+	for _, l := range c.loads {
+		total += l
+	}
+	bestK, bestCost := -1, math.Inf(1)
+	bestOverK, bestOver := -1, math.Inf(1)
+	for k := 0; k < n; k++ {
+		cap := (1 + t.Cfg.Alpha) * ng.Vertices[k].Capability * total / ng.TotalCapability()
+		if c.loads[k]+q.Load <= cap {
+			if costs[k] < bestCost {
+				bestK, bestCost = k, costs[k]
+			}
+		} else if over := c.loads[k] + q.Load - cap; over < bestOver {
+			bestOverK, bestOver = k, over
+		}
+	}
+	if bestK >= 0 {
+		return bestK, nil
+	}
+	if bestOverK >= 0 {
+		return bestOverK, nil
+	}
+	return -1, fmt.Errorf("hierarchy: %s has no assignable target", c.Name)
+}
+
+// PlaceAt force-places a query on a processor, bypassing routing — the
+// "Random" baseline of Fig 8 and the Naive baseline use it. The query is
+// attached to the processor's leaf coordinator state so later adaptation
+// rounds can move it.
+func (t *Tree) PlaceAt(q querygraph.QueryInfo, proc topology.NodeID) error {
+	leaf, ok := t.leafOf[proc]
+	if !ok {
+		return fmt.Errorf("hierarchy: node %d is not a processor", proc)
+	}
+	t.placement[q.Name] = proc
+	t.queries[q.Name] = q
+	// Thread the vertex through the ancestor chain so adaptation sees it.
+	v := atomVertex(q)
+	for c := leaf; c != nil; c = c.Parent {
+		if c.graph == nil {
+			continue
+		}
+		k, _, ok := c.pinOf(proc)
+		if !ok {
+			return fmt.Errorf("hierarchy: %s cannot pin processor %d", c.Name, proc)
+		}
+		cv := v.Clone()
+		c.graph.AddVertex(cv)
+		c.assign = append(c.assign, k)
+		if k < len(c.loads) {
+			c.loads[k] += q.Load
+		}
+	}
+	return nil
+}
+
+// Queries returns the query info map (by name).
+func (t *Tree) Queries() map[string]querygraph.QueryInfo {
+	out := make(map[string]querygraph.QueryInfo, len(t.queries))
+	for k, v := range t.queries {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,342 @@
+package pubsub
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// Handler consumes tuples delivered to a local subscriber.
+type Handler func(sub *Subscription, t stream.Tuple)
+
+// Peer is the broker-to-broker protocol: the three message kinds that cross
+// overlay links. In-process networks implement it with direct calls;
+// transport adapters (e.g. the TCP transport) implement it over the wire.
+type Peer interface {
+	// AdvertFrom delivers a stream advertisement arriving from a
+	// neighbor.
+	AdvertFrom(from topology.NodeID, streamName string)
+	// PropagateFrom delivers a subscription arriving from a neighbor.
+	PropagateFrom(sub *Subscription, from topology.NodeID)
+	// RouteFrom delivers a data tuple arriving from a neighbor.
+	RouteFrom(t stream.Tuple, from topology.NodeID)
+}
+
+// Fabric connects a broker to its neighbors and accounts traffic. It is the
+// seam between the routing logic and the deployment substrate.
+type Fabric interface {
+	// Peer returns the protocol endpoint of a neighbor broker.
+	Peer(n topology.NodeID) Peer
+	// CountControl and CountData account per-link traffic in bytes.
+	CountControl(from, to topology.NodeID, size int)
+	CountData(from, to topology.NodeID, size int)
+}
+
+// AdvertFrom, PropagateFrom and RouteFrom make *Broker itself a Peer, so
+// in-process fabrics hand brokers out directly.
+func (b *Broker) AdvertFrom(from topology.NodeID, streamName string) { b.advertFrom(from, streamName) }
+
+// PropagateFrom implements Peer.
+func (b *Broker) PropagateFrom(sub *Subscription, from topology.NodeID) { b.propagate(sub, from) }
+
+// RouteFrom implements Peer.
+func (b *Broker) RouteFrom(t stream.Tuple, from topology.NodeID) { b.route(t, from) }
+
+var _ Peer = (*Broker)(nil)
+
+// localSub is a client subscription attached to a broker.
+type localSub struct {
+	sub     *Subscription
+	handler Handler
+}
+
+// Broker is one overlay node of the Pub/Sub network. Brokers are wired into
+// an acyclic overlay by Network; all routing state is per-neighbor:
+//
+//   - adverts[n] holds the streams advertised from direction n, guiding
+//     subscription propagation (Fig 2(a));
+//   - subs[n] holds the subscriptions received from direction n, i.e. the
+//     interests living "behind" that neighbor (Fig 2(c)); a message is
+//     forwarded to n only when one of them matches (Fig 2(d)).
+type Broker struct {
+	Node topology.NodeID
+
+	mu        sync.Mutex
+	net       Fabric
+	neighbors []topology.NodeID
+	adverts   map[topology.NodeID]map[string]bool
+	subs      map[topology.NodeID][]*Subscription
+	locals    []localSub
+	// published advertisements by this broker's clients.
+	ownAdverts map[string]bool
+}
+
+// NewBroker creates a broker wired to a fabric. Neighbors are added with
+// AddNeighbor; in-process networks do this during overlay construction.
+func NewBroker(net Fabric, node topology.NodeID) *Broker {
+	return &Broker{
+		Node:       node,
+		net:        net,
+		adverts:    make(map[topology.NodeID]map[string]bool),
+		subs:       make(map[topology.NodeID][]*Subscription),
+		ownAdverts: make(map[string]bool),
+	}
+}
+
+// Advertise announces that this broker's clients will publish the given
+// stream. The advertisement floods the overlay so every broker learns the
+// direction toward the publisher.
+func (b *Broker) Advertise(streamName string) {
+	b.mu.Lock()
+	b.ownAdverts[streamName] = true
+	neighbors := append([]topology.NodeID(nil), b.neighbors...)
+	b.mu.Unlock()
+	for _, n := range neighbors {
+		b.net.Peer(n).AdvertFrom(b.Node, streamName)
+	}
+}
+
+func (b *Broker) advertFrom(from topology.NodeID, streamName string) {
+	b.mu.Lock()
+	set, ok := b.adverts[from]
+	if !ok {
+		set = make(map[string]bool)
+		b.adverts[from] = set
+	}
+	if set[streamName] {
+		b.mu.Unlock()
+		return // already known; stop the flood
+	}
+	set[streamName] = true
+	b.net.CountControl(b.Node, from, advertSize)
+	neighbors := append([]topology.NodeID(nil), b.neighbors...)
+	b.mu.Unlock()
+	for _, n := range neighbors {
+		if n != from {
+			b.net.Peer(n).AdvertFrom(b.Node, streamName)
+		}
+	}
+}
+
+// Subscribe registers a local client subscription and propagates it toward
+// the advertised publishers, suppressing propagation covered by an earlier
+// subscription sent the same way (the p1∪p2 merge point of Fig 3).
+func (b *Broker) Subscribe(sub *Subscription, h Handler) error {
+	if sub == nil || len(sub.Streams) == 0 {
+		return fmt.Errorf("pubsub: empty subscription")
+	}
+	b.mu.Lock()
+	b.locals = append(b.locals, localSub{sub: sub, handler: h})
+	b.mu.Unlock()
+	b.propagate(sub, -1)
+	return nil
+}
+
+// Unsubscribe removes a local client subscription by ID. Routing state at
+// other brokers is left in place (as in Siena, stale entries only cost
+// spurious forwarding and are cleaned by re-subscription epochs).
+func (b *Broker) Unsubscribe(id string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	kept := b.locals[:0]
+	for _, l := range b.locals {
+		if l.sub.ID != id {
+			kept = append(kept, l)
+		}
+	}
+	b.locals = kept
+}
+
+// propagate forwards a subscription to every neighbor that advertises one
+// of its streams (except the neighbor it came from), unless a subscription
+// already forwarded from that direction covers it.
+func (b *Broker) propagate(sub *Subscription, from topology.NodeID) {
+	b.mu.Lock()
+	if from >= 0 {
+		// Record the interest living behind 'from'.
+		covered := false
+		for _, s := range b.subs[from] {
+			if s.Covers(sub) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			b.subs[from] = append(b.subs[from], sub.Clone())
+		}
+	}
+	targets := make([]topology.NodeID, 0, len(b.neighbors))
+	for _, n := range b.neighbors {
+		if n == from {
+			continue
+		}
+		if !b.advertisesAny(n, sub.Streams) {
+			continue
+		}
+		// Covering suppression: skip if a DIFFERENT subscription we
+		// already hold from any direction other than the target
+		// covers this one — it was already sent toward the sources.
+		// The subscription's own just-recorded clone must not
+		// suppress it, so identity is compared by ID.
+		suppressed := false
+		for dir, lst := range b.subs {
+			if dir == n {
+				continue
+			}
+			for _, s := range lst {
+				if s.ID != sub.ID && s.Covers(sub) {
+					suppressed = true
+					break
+				}
+			}
+			if suppressed {
+				break
+			}
+		}
+		if !suppressed {
+			targets = append(targets, n)
+		}
+	}
+	b.mu.Unlock()
+	for _, n := range targets {
+		b.net.CountControl(b.Node, n, subSize(sub))
+		b.net.Peer(n).PropagateFrom(sub, b.Node)
+	}
+}
+
+func (b *Broker) advertisesAny(neighbor topology.NodeID, streams []string) bool {
+	set, ok := b.adverts[neighbor]
+	if !ok {
+		return false
+	}
+	for _, s := range streams {
+		if set[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// Publish injects a tuple produced by this broker's clients and routes it
+// through the overlay.
+func (b *Broker) Publish(t stream.Tuple) {
+	b.route(t, -1)
+}
+
+// route delivers the tuple locally and forwards it once per interested
+// neighbor, projecting the payload down to the union of downstream
+// attribute interests (early projection, §2).
+func (b *Broker) route(t stream.Tuple, from topology.NodeID) {
+	b.mu.Lock()
+	for _, l := range b.locals {
+		if l.sub.Matches(t) && l.handler != nil {
+			h, s := l.handler, l.sub
+			// Deliver outside the lock to keep handlers free to
+			// call back into the broker.
+			defer func(tt stream.Tuple) { h(s, project(s, tt)) }(t)
+		}
+	}
+	type hop struct {
+		to    topology.NodeID
+		attrs map[string]bool // nil = all
+	}
+	var hops []hop
+	for _, n := range b.neighbors {
+		if n == from {
+			continue
+		}
+		var wanted map[string]bool
+		interested := false
+		all := false
+		for _, s := range b.subs[n] {
+			if !s.Matches(t) {
+				continue
+			}
+			interested = true
+			if s.Attrs == nil {
+				all = true
+				break
+			}
+			if wanted == nil {
+				wanted = make(map[string]bool)
+			}
+			for _, a := range s.Attrs {
+				wanted[a] = true
+			}
+		}
+		if !interested {
+			continue
+		}
+		if all {
+			wanted = nil
+		}
+		hops = append(hops, hop{to: n, attrs: wanted})
+	}
+	b.mu.Unlock()
+
+	for _, h := range hops {
+		fwd := projectAttrs(t, h.attrs)
+		b.net.CountData(b.Node, h.to, fwd.Size)
+		b.net.Peer(h.to).RouteFrom(fwd, b.Node)
+	}
+}
+
+// project narrows a tuple to a subscription's attribute list.
+func project(s *Subscription, t stream.Tuple) stream.Tuple {
+	if s.Attrs == nil {
+		return t
+	}
+	keep := make(map[string]bool, len(s.Attrs))
+	for _, a := range s.Attrs {
+		keep[a] = true
+	}
+	return projectAttrs(t, keep)
+}
+
+func projectAttrs(t stream.Tuple, keep map[string]bool) stream.Tuple {
+	if keep == nil {
+		return t
+	}
+	out := stream.Tuple{Stream: t.Stream, Timestamp: t.Timestamp, Attrs: make(map[string]stream.Value, len(keep))}
+	for a := range keep {
+		if v, ok := t.Attrs[a]; ok {
+			out.Attrs[a] = v
+		}
+	}
+	// Size scales with retained attributes (8 bytes per value plus a
+	// fixed header), mirroring the early-projection bandwidth savings.
+	out.Size = tupleSize(len(out.Attrs))
+	return out
+}
+
+func tupleSize(attrs int) int { return 16 + 8*attrs }
+
+// AddNeighbor registers an overlay neighbor.
+func (b *Broker) AddNeighbor(n topology.NodeID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, x := range b.neighbors {
+		if x == n {
+			return
+		}
+	}
+	b.neighbors = append(b.neighbors, n)
+}
+
+// Neighbors returns the broker's overlay neighbors sorted by node ID.
+func (b *Broker) Neighbors() []topology.NodeID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := append([]topology.NodeID(nil), b.neighbors...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+const advertSize = 32
+
+func subSize(s *Subscription) int {
+	return 32 + 16*len(s.Streams) + 8*len(s.Attrs) + 24*len(s.Filters)
+}

@@ -1,0 +1,127 @@
+package pubsub
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// randomSub draws a subscription over streams {R,S}, attrs {a,b}, with 0-2
+// numeric filters.
+func randomSub(r *rand.Rand, id string) *Subscription {
+	s := &Subscription{ID: id}
+	if r.IntN(2) == 0 {
+		s.Streams = []string{"R"}
+	} else {
+		s.Streams = []string{"R", "S"}
+	}
+	if r.IntN(3) == 0 {
+		s.Attrs = []string{"a"}
+	}
+	ops := []query.Op{query.Gt, query.Ge, query.Lt, query.Le}
+	attrs := []string{"a", "b"}
+	for i := 0; i < r.IntN(3); i++ {
+		s.Filters = append(s.Filters,
+			filter(attrs[r.IntN(len(attrs))], ops[r.IntN(len(ops))], float64(r.IntN(21)-10)))
+	}
+	return s
+}
+
+// randomTuple draws a message over the same domain.
+func randomTuple(r *rand.Rand) stream.Tuple {
+	name := "R"
+	if r.IntN(2) == 0 {
+		name = "S"
+	}
+	return stream.Tuple{
+		Stream: name,
+		Attrs: map[string]stream.Value{
+			"a": stream.FloatVal(float64(r.IntN(25) - 12)),
+			"b": stream.FloatVal(float64(r.IntN(25) - 12)),
+		},
+		Size: 32,
+	}
+}
+
+// TestQuickCoversSoundness: the covering relation used to suppress
+// subscription propagation must be SOUND — if wide.Covers(narrow), then
+// every message narrow matches, wide matches too. (Routing correctness
+// depends on exactly this: a suppressed subscription relies on the covering
+// one to pull its traffic.)
+func TestQuickCoversSoundness(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 101))
+		wide := randomSub(r, "w")
+		narrow := randomSub(r, "n")
+		if !wide.Covers(narrow) {
+			return true
+		}
+		for trial := 0; trial < 40; trial++ {
+			msg := randomTuple(r)
+			if narrow.Matches(msg) && !wide.Matches(msg) {
+				t.Logf("wide %s claimed to cover %s but misses %v", wide, narrow, msg)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMergeCoversInputs: a merged subscription profile must admit
+// every message either input admits (the p3 = p1 ∪ p2 step of Fig 3).
+func TestQuickMergeCoversInputs(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 103))
+		a := randomSub(r, "a")
+		b := randomSub(r, "b")
+		m := MergeSubscriptions("m", a, b)
+		for trial := 0; trial < 40; trial++ {
+			msg := randomTuple(r)
+			if (a.Matches(msg) || b.Matches(msg)) && !m.Matches(msg) {
+				t.Logf("merge %s drops message %v admitted by %s / %s",
+					m, msg, a, b)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCoversReflexiveTransitive: covering is reflexive and transitive
+// on random chains built by syntactic weakening.
+func TestQuickCoversReflexiveTransitive(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 107))
+		base := float64(r.IntN(10))
+		mk := func(bound float64) *Subscription {
+			return &Subscription{
+				ID:      fmt.Sprint(bound),
+				Streams: []string{"R"},
+				Filters: []query.Predicate{filter("a", query.Gt, bound)},
+			}
+		}
+		weak := mk(base)
+		mid := mk(base + float64(r.IntN(5)))
+		strong := mk(base + 5 + float64(r.IntN(5)))
+		if !weak.Covers(weak) {
+			return false
+		}
+		if !weak.Covers(mid) || !mid.Covers(strong) {
+			return false
+		}
+		return weak.Covers(strong)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,176 @@
+package pubsub
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/topology"
+)
+
+// Network is an acyclic broker overlay over a set of topology nodes, with
+// per-link traffic accounting. The overlay is a minimum-spanning tree of the
+// pairwise latencies, the standard dissemination overlay for Siena-style
+// acyclic routing.
+type Network struct {
+	oracle *topology.Oracle
+
+	mu      sync.Mutex
+	brokers map[topology.NodeID]*Broker
+	// latency of each overlay link, keyed by ordered pair.
+	links map[[2]topology.NodeID]float64
+	// traffic in bytes per overlay link.
+	data    map[[2]topology.NodeID]float64
+	control map[[2]topology.NodeID]float64
+}
+
+// NewNetwork builds the broker overlay over the given nodes.
+func NewNetwork(oracle *topology.Oracle, nodes []topology.NodeID) (*Network, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("pubsub: no broker nodes")
+	}
+	net := &Network{
+		oracle:  oracle,
+		brokers: make(map[topology.NodeID]*Broker, len(nodes)),
+		links:   make(map[[2]topology.NodeID]float64),
+		data:    make(map[[2]topology.NodeID]float64),
+		control: make(map[[2]topology.NodeID]float64),
+	}
+	for _, n := range nodes {
+		if _, dup := net.brokers[n]; dup {
+			return nil, fmt.Errorf("pubsub: duplicate broker node %d", n)
+		}
+		net.brokers[n] = NewBroker(net, n)
+	}
+	net.buildMST(nodes)
+	return net, nil
+}
+
+// buildMST wires the brokers with Prim's algorithm over oracle latencies.
+func (net *Network) buildMST(nodes []topology.NodeID) {
+	if len(nodes) == 1 {
+		return
+	}
+	inTree := map[topology.NodeID]bool{nodes[0]: true}
+	best := make(map[topology.NodeID]topology.NodeID, len(nodes))
+	bestD := make(map[topology.NodeID]float64, len(nodes))
+	for _, n := range nodes[1:] {
+		best[n] = nodes[0]
+		bestD[n] = net.oracle.Latency(nodes[0], n)
+	}
+	for len(inTree) < len(nodes) {
+		// Pick the cheapest frontier node (deterministic tie-break).
+		var pick topology.NodeID = -1
+		min := math.Inf(1)
+		for _, n := range nodes {
+			if inTree[n] {
+				continue
+			}
+			if d := bestD[n]; d < min || (d == min && (pick < 0 || n < pick)) {
+				min, pick = d, n
+			}
+		}
+		parent := best[pick]
+		net.addLink(parent, pick, min)
+		inTree[pick] = true
+		for _, n := range nodes {
+			if inTree[n] {
+				continue
+			}
+			if d := net.oracle.Latency(pick, n); d < bestD[n] {
+				bestD[n] = d
+				best[n] = pick
+			}
+		}
+	}
+}
+
+func (net *Network) addLink(a, b topology.NodeID, latency float64) {
+	net.brokers[a].AddNeighbor(b)
+	net.brokers[b].AddNeighbor(a)
+	net.links[orderPair(a, b)] = latency
+}
+
+// Broker returns the broker at a node.
+func (net *Network) Broker(n topology.NodeID) (*Broker, bool) {
+	b, ok := net.brokers[n]
+	return b, ok
+}
+
+// Peer implements Fabric with direct in-process calls.
+func (net *Network) Peer(n topology.NodeID) Peer { return net.brokers[n] }
+
+func orderPair(a, b topology.NodeID) [2]topology.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]topology.NodeID{a, b}
+}
+
+// CountData implements Fabric.
+func (net *Network) CountData(a, b topology.NodeID, size int) {
+	net.mu.Lock()
+	net.data[orderPair(a, b)] += float64(size)
+	net.mu.Unlock()
+}
+
+// CountControl implements Fabric.
+func (net *Network) CountControl(a, b topology.NodeID, size int) {
+	net.mu.Lock()
+	net.control[orderPair(a, b)] += float64(size)
+	net.mu.Unlock()
+}
+
+// ResetTraffic clears the data and control counters (e.g. after a warm-up
+// phase).
+func (net *Network) ResetTraffic() {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	for k := range net.data {
+		delete(net.data, k)
+	}
+	for k := range net.control {
+		delete(net.control, k)
+	}
+}
+
+// TrafficReport summarizes overlay traffic.
+type TrafficReport struct {
+	// DataBytes and ControlBytes total the per-link volumes.
+	DataBytes    float64
+	ControlBytes float64
+	// WeightedCost is Σ bytes·latency over overlay links — the paper's
+	// communication-cost metric measured on the substrate itself.
+	WeightedCost float64
+	// Links is the number of overlay links that carried any data.
+	Links int
+}
+
+// Traffic returns the current report.
+func (net *Network) Traffic() TrafficReport {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	var rep TrafficReport
+	for link, bytes := range net.data {
+		rep.DataBytes += bytes
+		rep.WeightedCost += bytes * net.links[link]
+		if bytes > 0 {
+			rep.Links++
+		}
+	}
+	for _, bytes := range net.control {
+		rep.ControlBytes += bytes
+	}
+	return rep
+}
+
+// Nodes returns the broker nodes sorted by ID.
+func (net *Network) Nodes() []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(net.brokers))
+	for n := range net.brokers {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,225 @@
+package pubsub
+
+import (
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// lineNet builds a 4-broker overlay over a path topology 0-1-2-3.
+func lineNet(t *testing.T) *Network {
+	t.Helper()
+	g := topology.NewGraph(4)
+	for i := 0; i < 3; i++ {
+		if err := g.AddEdge(topology.NodeID(i), topology.NodeID(i+1), float64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net, err := NewNetwork(topology.NewOracle(g), []topology.NodeID{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func filter(attr string, op query.Op, v float64) query.Predicate {
+	lit := stream.FloatVal(v)
+	return query.Predicate{
+		Left:  query.Operand{Col: &query.ColRef{Attr: attr}},
+		Op:    op,
+		Right: query.Operand{Lit: &lit},
+	}
+}
+
+func tuple(streamName string, attrs map[string]float64) stream.Tuple {
+	t := stream.Tuple{Stream: streamName, Attrs: make(map[string]stream.Value, len(attrs)), Size: 24}
+	for k, v := range attrs {
+		t.Attrs[k] = stream.FloatVal(v)
+	}
+	return t
+}
+
+func TestDeliveryWithFilter(t *testing.T) {
+	net := lineNet(t)
+	src, _ := net.Broker(0)
+	dst, _ := net.Broker(3)
+	src.Advertise("R")
+
+	var got []stream.Tuple
+	sub := &Subscription{
+		ID:      "s1",
+		Streams: []string{"R"},
+		Filters: []query.Predicate{filter("a", query.Gt, 10)},
+	}
+	if err := dst.Subscribe(sub, func(_ *Subscription, t stream.Tuple) {
+		got = append(got, t)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	src.Publish(tuple("R", map[string]float64{"a": 15}))
+	src.Publish(tuple("R", map[string]float64{"a": 5}))  // filtered at source
+	src.Publish(tuple("S", map[string]float64{"a": 99})) // wrong stream
+
+	if len(got) != 1 || got[0].Attrs["a"].F != 15 {
+		t.Fatalf("delivered %v, want one tuple with a=15", got)
+	}
+	// The a=5 tuple must not have crossed ANY link (early filtering).
+	rep := net.Traffic()
+	if rep.DataBytes != 24*3 { // one tuple over three links
+		t.Errorf("data bytes = %v, want 72 (one tuple, three hops)", rep.DataBytes)
+	}
+}
+
+func TestEarlyProjection(t *testing.T) {
+	net := lineNet(t)
+	src, _ := net.Broker(0)
+	dst, _ := net.Broker(3)
+	src.Advertise("R")
+
+	var got stream.Tuple
+	sub := &Subscription{ID: "s", Streams: []string{"R"}, Attrs: []string{"a"}}
+	if err := dst.Subscribe(sub, func(_ *Subscription, t stream.Tuple) { got = t }); err != nil {
+		t.Fatal(err)
+	}
+	src.Publish(tuple("R", map[string]float64{"a": 1, "b": 2, "c": 3}))
+	if len(got.Attrs) != 1 {
+		t.Fatalf("projected tuple has attrs %v, want only a", got.Attrs)
+	}
+	// Forwarded size reflects the projection: 16 + 8*1 = 24 per hop.
+	if rep := net.Traffic(); rep.DataBytes != 24*3 {
+		t.Errorf("data bytes = %v, want 72", rep.DataBytes)
+	}
+}
+
+func TestDuplicateEliminationAcrossSubscribers(t *testing.T) {
+	net := lineNet(t)
+	src, _ := net.Broker(0)
+	b2, _ := net.Broker(2)
+	b3, _ := net.Broker(3)
+	src.Advertise("R")
+
+	count2, count3 := 0, 0
+	sub := func(id string) *Subscription {
+		return &Subscription{ID: id, Streams: []string{"R"}}
+	}
+	if err := b2.Subscribe(sub("a"), func(*Subscription, stream.Tuple) { count2++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := b3.Subscribe(sub("b"), func(*Subscription, stream.Tuple) { count3++ }); err != nil {
+		t.Fatal(err)
+	}
+	src.Publish(tuple("R", map[string]float64{"a": 1}))
+	if count2 != 1 || count3 != 1 {
+		t.Fatalf("deliveries = %d/%d", count2, count3)
+	}
+	// Links 0-1 and 1-2 carry the tuple once; 2-3 once more: 3 link
+	// crossings total despite two subscribers (one copy per link).
+	if rep := net.Traffic(); rep.DataBytes != 24*3 {
+		t.Errorf("data bytes = %v, want 72 (duplicate elimination)", rep.DataBytes)
+	}
+}
+
+func TestLocalSubscriberAtSource(t *testing.T) {
+	net := lineNet(t)
+	src, _ := net.Broker(0)
+	src.Advertise("R")
+	hits := 0
+	if err := src.Subscribe(&Subscription{ID: "l", Streams: []string{"R"}},
+		func(*Subscription, stream.Tuple) { hits++ }); err != nil {
+		t.Fatal(err)
+	}
+	src.Publish(tuple("R", map[string]float64{"a": 1}))
+	if hits != 1 {
+		t.Errorf("local delivery = %d", hits)
+	}
+	if rep := net.Traffic(); rep.DataBytes != 0 {
+		t.Errorf("local-only delivery used the network: %v", rep.DataBytes)
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	net := lineNet(t)
+	src, _ := net.Broker(0)
+	dst, _ := net.Broker(1)
+	src.Advertise("R")
+	hits := 0
+	if err := dst.Subscribe(&Subscription{ID: "u", Streams: []string{"R"}},
+		func(*Subscription, stream.Tuple) { hits++ }); err != nil {
+		t.Fatal(err)
+	}
+	src.Publish(tuple("R", nil))
+	dst.Unsubscribe("u")
+	src.Publish(tuple("R", nil))
+	if hits != 1 {
+		t.Errorf("hits = %d, want 1", hits)
+	}
+}
+
+func TestCoversRelation(t *testing.T) {
+	wide := &Subscription{ID: "w", Streams: []string{"R", "S"}}
+	narrow := &Subscription{
+		ID:      "n",
+		Streams: []string{"R"},
+		Attrs:   []string{"a"},
+		Filters: []query.Predicate{filter("a", query.Gt, 10)},
+	}
+	if !wide.Covers(narrow) {
+		t.Error("unfiltered multi-stream subscription should cover the narrow one")
+	}
+	if narrow.Covers(wide) {
+		t.Error("narrow subscription cannot cover the wide one")
+	}
+	// Filter weakening: a > 5 covers a > 10 but not vice versa.
+	weak := &Subscription{ID: "k", Streams: []string{"R"}, Filters: []query.Predicate{filter("a", query.Gt, 5)}}
+	strong := &Subscription{ID: "s", Streams: []string{"R"}, Filters: []query.Predicate{filter("a", query.Gt, 10)}}
+	if !weak.Covers(strong) {
+		t.Error("a>5 should cover a>10")
+	}
+	if strong.Covers(weak) {
+		t.Error("a>10 should not cover a>5")
+	}
+}
+
+func TestMergeSubscriptions(t *testing.T) {
+	a := &Subscription{ID: "a", Streams: []string{"R"}, Attrs: []string{"x"},
+		Filters: []query.Predicate{filter("x", query.Gt, 10)}}
+	b := &Subscription{ID: "b", Streams: []string{"S"}, Attrs: []string{"y"},
+		Filters: []query.Predicate{filter("x", query.Gt, 20)}}
+	m := MergeSubscriptions("m", a, b)
+	if len(m.Streams) != 2 {
+		t.Errorf("merged streams = %v", m.Streams)
+	}
+	if len(m.Attrs) != 2 {
+		t.Errorf("merged attrs = %v", m.Attrs)
+	}
+	if !m.Covers(a) || !m.Covers(b) {
+		t.Errorf("merged subscription %v does not cover inputs", m)
+	}
+}
+
+func TestMSTConnectsAllBrokers(t *testing.T) {
+	net := lineNet(t)
+	links := 0
+	for _, n := range net.Nodes() {
+		b, _ := net.Broker(n)
+		links += len(b.Neighbors())
+	}
+	if links/2 != 3 {
+		t.Errorf("overlay has %d links, want 3 (spanning tree of 4)", links/2)
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	g := topology.NewGraph(2)
+	_ = g.AddEdge(0, 1, 1)
+	o := topology.NewOracle(g)
+	if _, err := NewNetwork(o, nil); err == nil {
+		t.Error("empty broker set accepted")
+	}
+	if _, err := NewNetwork(o, []topology.NodeID{0, 0}); err == nil {
+		t.Error("duplicate broker accepted")
+	}
+}

@@ -1,0 +1,209 @@
+// Package pubsub implements the content-based Publish/Subscribe substrate
+// COSMOS is built on (§1.2, §2): a Siena-style broker overlay where data
+// sources advertise streams, consumers subscribe with content filters, and
+// messages are routed hop by hop so that (1) a message crosses each overlay
+// link at most once, (2) messages are filtered as early as possible on the
+// way to interested parties, and (3) unnecessary attributes are projected
+// away as early as possible. Per-link traffic is accounted so experiments
+// can measure weighted communication cost on the overlay.
+package pubsub
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// Subscription is the content-based interest profile of §2.1: the streams
+// wanted, the attributes to retain (nil = all), and conjunctive filters
+// over attribute values.
+type Subscription struct {
+	ID string
+	// Streams lists the stream names of interest.
+	Streams []string
+	// Attrs is the projection list; nil keeps every attribute.
+	Attrs []string
+	// Filters are conjunctive selection predicates applied to message
+	// attributes. Column references use only the Attr field (messages
+	// are flat attribute/value sets, §1.2).
+	Filters []query.Predicate
+}
+
+// Matches reports whether a tuple satisfies the subscription: its stream is
+// listed and every filter passes.
+func (s *Subscription) Matches(t stream.Tuple) bool {
+	if !s.hasStream(t.Stream) {
+		return false
+	}
+	for _, f := range s.Filters {
+		if !evalFilter(f, t) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Subscription) hasStream(name string) bool {
+	for _, st := range s.Streams {
+		if st == name {
+			return true
+		}
+	}
+	return false
+}
+
+// evalFilter evaluates a predicate against a flat tuple, resolving column
+// operands by attribute name only.
+func evalFilter(p query.Predicate, t stream.Tuple) bool {
+	resolve := func(o query.Operand) (stream.Value, bool) {
+		if o.Col != nil {
+			return t.Get(o.Col.Attr)
+		}
+		if o.Lit != nil {
+			return *o.Lit, true
+		}
+		return stream.Value{}, false
+	}
+	lv, ok := resolve(p.Left)
+	if !ok {
+		return false
+	}
+	rv, ok := resolve(p.Right)
+	if !ok {
+		return false
+	}
+	return p.Op.Eval(lv.Compare(rv))
+}
+
+// Covers reports whether s admits every message that o admits — the
+// covering relation Siena uses to suppress redundant subscription
+// propagation. It is sound but not complete: a false result may still be a
+// covering pair (e.g. filters over disjoint attribute sets), which costs
+// extra propagation but never correctness.
+func (s *Subscription) Covers(o *Subscription) bool {
+	for _, st := range o.Streams {
+		if !s.hasStream(st) {
+			return false
+		}
+	}
+	// Projection: s must keep at least o's attributes.
+	if s.Attrs != nil {
+		if o.Attrs == nil {
+			return false
+		}
+		keep := make(map[string]bool, len(s.Attrs))
+		for _, a := range s.Attrs {
+			keep[a] = true
+		}
+		for _, a := range o.Attrs {
+			if !keep[a] {
+				return false
+			}
+		}
+	}
+	// Filters: o's conjunction must imply every filter of s.
+	ivs := filterIntervals(o.Filters)
+	for _, f := range s.Filters {
+		f = f.Normalize()
+		if !f.IsSelection() {
+			return false
+		}
+		iv, ok := ivs[f.Left.Col.Attr]
+		if !ok {
+			iv = query.FullInterval()
+		}
+		if !iv.Implies(f.Op, *f.Right.Lit) {
+			return false
+		}
+	}
+	return true
+}
+
+func filterIntervals(filters []query.Predicate) map[string]query.Interval {
+	out := make(map[string]query.Interval)
+	for _, f := range filters {
+		f = f.Normalize()
+		if !f.IsSelection() {
+			continue
+		}
+		key := f.Left.Col.Attr
+		iv, ok := out[key]
+		if !ok {
+			iv = query.FullInterval()
+		}
+		out[key] = iv.Constrain(f.Op, *f.Right.Lit)
+	}
+	return out
+}
+
+// MergeSubscriptions builds the union profile of two subscriptions — the
+// p3 = p1 ∪ p2 step of Fig 3: stream and attribute lists union; per-column
+// filters weaken to the union interval; filters on columns constrained by
+// only one input are dropped (the merged profile must admit both).
+func MergeSubscriptions(id string, a, b *Subscription) *Subscription {
+	out := &Subscription{ID: id}
+	seen := make(map[string]bool)
+	for _, st := range append(append([]string(nil), a.Streams...), b.Streams...) {
+		if !seen[st] {
+			seen[st] = true
+			out.Streams = append(out.Streams, st)
+		}
+	}
+	if a.Attrs == nil || b.Attrs == nil {
+		out.Attrs = nil
+	} else {
+		seenA := make(map[string]bool)
+		for _, at := range append(append([]string(nil), a.Attrs...), b.Attrs...) {
+			if !seenA[at] {
+				seenA[at] = true
+				out.Attrs = append(out.Attrs, at)
+			}
+		}
+		sort.Strings(out.Attrs)
+	}
+	ia, ib := filterIntervals(a.Filters), filterIntervals(b.Filters)
+	cols := make([]string, 0, len(ia))
+	for c := range ia {
+		if _, ok := ib[c]; ok {
+			cols = append(cols, c)
+		}
+	}
+	sort.Strings(cols)
+	for _, c := range cols {
+		u := ia[c].Union(ib[c])
+		out.Filters = append(out.Filters, u.Predicates(query.ColRef{Attr: c})...)
+	}
+	return out
+}
+
+// String renders the subscription for logs and tests.
+func (s *Subscription) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sub(%s: S=%v", s.ID, s.Streams)
+	if s.Attrs != nil {
+		fmt.Fprintf(&b, " P=%v", s.Attrs)
+	}
+	if len(s.Filters) > 0 {
+		parts := make([]string, len(s.Filters))
+		for i, f := range s.Filters {
+			parts[i] = f.String()
+		}
+		fmt.Fprintf(&b, " F=%s", strings.Join(parts, " AND "))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Clone returns an independent copy.
+func (s *Subscription) Clone() *Subscription {
+	c := &Subscription{ID: s.ID}
+	c.Streams = append([]string(nil), s.Streams...)
+	if s.Attrs != nil {
+		c.Attrs = append([]string(nil), s.Attrs...)
+	}
+	c.Filters = append([]query.Predicate(nil), s.Filters...)
+	return c
+}

@@ -1,0 +1,644 @@
+// Package querygraph implements the query graph QG = {Vq, Eq, Wq} of the
+// paper's graph-mapping model (§3.1.2) and the coarsening procedure of
+// Algorithm 1.
+//
+// A query graph has two vertex kinds: q-vertices representing (groups of)
+// continuous queries, weighted by estimated CPU load, and n-vertices
+// representing network nodes (data sources and user proxies), weighted zero.
+// Edges carry estimated data rates: source edges (query pulls substreams
+// from a source), result edges (query pushes its result stream to a proxy),
+// and overlap edges between queries with shared data interest — the model
+// component that makes the mapping aware of Pub/Sub communication sharing.
+//
+// Every edge weight is derivable from vertex content (interest bit vectors,
+// per-substream rates, result-rate maps), which is what lets coarsening
+// re-estimate edges exactly and lets parents compute cross-subtree overlap
+// edges between coarse vertices submitted by different children.
+package querygraph
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/topology"
+)
+
+// ClusterUnknown marks an n-vertex not covered by any child cluster of the
+// current coordinator.
+const ClusterUnknown = -1
+
+// QueryInfo is the leaf-granularity description of one continuous query as
+// the distribution machinery sees it.
+type QueryInfo struct {
+	Name       string
+	Proxy      topology.NodeID
+	Load       float64        // CPU time per unit time on a ci=1 processor
+	Interest   *bitvec.Vector // substream interest
+	ResultRate float64        // result stream rate, bytes/sec
+	StateSize  float64        // operator state size, for migration cost
+}
+
+// Vertex is a (possibly coarsened) query-graph vertex. A pure q-vertex has
+// Queries and no Nodes; a pure n-vertex has exactly one node and no queries;
+// coarsening may produce mixed vertices.
+type Vertex struct {
+	ID     int
+	Weight float64 // total query load; 0 for pure n-vertices
+
+	// Nodes are the network nodes this vertex represents (n-vertex part).
+	Nodes []topology.NodeID
+	// Clu is the network-graph vertex index this vertex is pinned to by
+	// the network constraint, or ClusterUnknown. For n-vertices covered
+	// by a child cluster this is the child's index; for external nodes
+	// (sources or proxies outside the coordinator's subtree) it is the
+	// index of a zero-capability anchor vertex in the network graph.
+	Clu int
+	// Assignable records whether the pinned target can also host query
+	// load (a real child cluster) as opposed to a pure anchor. Only
+	// n-vertices pinned to assignable targets may absorb q-vertices
+	// during coarsening; merging a query into a source anchor would pin
+	// the query to a node with no processing capability.
+	Assignable bool
+
+	// Queries are the constituent queries (q-vertex part).
+	Queries []QueryInfo
+	// Interest is the union of constituent queries' interest vectors.
+	Interest *bitvec.Vector
+	// ResultRates aggregates result-stream rate per proxy node.
+	ResultRates map[topology.NodeID]float64
+	// StateSize is the total operator state of constituent queries.
+	StateSize float64
+
+	// Tag names the coordinator holding the finer-grained expansion of
+	// this vertex (§3.4).
+	Tag string
+	// Key identifies the vertex within its tagging coordinator's
+	// expansion registry. (Tag, Key) is globally unique and survives
+	// cloning across graphs.
+	Key string
+	// Grain is the granularity level of the vertex: 0 for an atomic
+	// single-query vertex, L for a vertex produced by the coarsening of
+	// a level-L coordinator. A level-L coordinator works on vertices of
+	// grain <= L-1.
+	Grain int
+	// Dirty marks vertices already picked for remapping in the current
+	// adaptation round (Algorithm 3).
+	Dirty bool
+}
+
+// Clone returns a copy of the vertex suitable for insertion into another
+// graph. Immutable content (interest vector, query list, node list) is
+// shared; the result-rate map is copied because coarsening mutates it.
+func (v *Vertex) Clone() *Vertex {
+	c := *v
+	c.Nodes = append([]topology.NodeID(nil), v.Nodes...)
+	if v.ResultRates != nil {
+		c.ResultRates = make(map[topology.NodeID]float64, len(v.ResultRates))
+		for n, r := range v.ResultRates {
+			c.ResultRates[n] = r
+		}
+	}
+	return &c
+}
+
+// IsN reports whether the vertex has an n-vertex component, which pins its
+// mapping target.
+func (v *Vertex) IsN() bool { return len(v.Nodes) > 0 }
+
+// Adj is one adjacency entry.
+type Adj struct {
+	To int
+	W  float64
+}
+
+// Graph is a query graph plus the stream statistics needed to (re)estimate
+// its edge weights.
+type Graph struct {
+	// SubRates is the per-substream rate vector (bytes/sec).
+	SubRates []float64
+	// SourceOfSub maps each substream index to its origin node.
+	SourceOfSub []topology.NodeID
+
+	Vertices []*Vertex
+	adj      []map[int]float64
+
+	// subsByNode caches, per origin node, the substream indices it
+	// originates, as a bit vector for fast demand computation.
+	subsByNode map[topology.NodeID]*bitvec.Vector
+}
+
+// New returns an empty query graph over the given substream statistics.
+// SubRates and SourceOfSub must have equal length.
+func New(subRates []float64, sourceOfSub []topology.NodeID) (*Graph, error) {
+	if len(subRates) != len(sourceOfSub) {
+		return nil, fmt.Errorf("querygraph: %d rates but %d substream sources",
+			len(subRates), len(sourceOfSub))
+	}
+	g := &Graph{
+		SubRates:    subRates,
+		SourceOfSub: sourceOfSub,
+		subsByNode:  make(map[topology.NodeID]*bitvec.Vector),
+	}
+	for i, n := range sourceOfSub {
+		v, ok := g.subsByNode[n]
+		if !ok {
+			v = bitvec.New(len(sourceOfSub))
+			g.subsByNode[n] = v
+		}
+		v.Set(i)
+	}
+	return g, nil
+}
+
+// AddNVertex adds a pure n-vertex for a network node, pinned to network-
+// graph vertex clu. assignable marks whether the target is a real child
+// cluster (able to host queries) rather than a zero-capability anchor.
+func (g *Graph) AddNVertex(node topology.NodeID, clu int, assignable bool) *Vertex {
+	v := &Vertex{
+		ID:         len(g.Vertices),
+		Nodes:      []topology.NodeID{node},
+		Clu:        clu,
+		Assignable: assignable,
+	}
+	g.Vertices = append(g.Vertices, v)
+	g.adj = append(g.adj, nil)
+	return v
+}
+
+// AddQVertex adds a q-vertex for a single query.
+func (g *Graph) AddQVertex(q QueryInfo) *Vertex {
+	v := &Vertex{
+		ID:          len(g.Vertices),
+		Weight:      q.Load,
+		Clu:         ClusterUnknown,
+		Queries:     []QueryInfo{q},
+		Interest:    q.Interest.Clone(),
+		ResultRates: map[topology.NodeID]float64{q.Proxy: q.ResultRate},
+		StateSize:   q.StateSize,
+	}
+	g.Vertices = append(g.Vertices, v)
+	g.adj = append(g.adj, nil)
+	return v
+}
+
+// AddVertex adds a prebuilt (e.g. coarsened, received-from-child) vertex,
+// reassigning its ID.
+func (g *Graph) AddVertex(v *Vertex) *Vertex {
+	v.ID = len(g.Vertices)
+	g.Vertices = append(g.Vertices, v)
+	g.adj = append(g.adj, nil)
+	return v
+}
+
+// EdgeWeight computes the model edge weight between two vertices from their
+// content:
+//
+//	overlap(u,v)  — rate of substreams both are interested in (q–q sharing)
+//	demand(u→v)   — rate u requests from sources among v's nodes
+//	demand(v→u)   — symmetric
+//	result(u→v)   — result rate u sends to proxies among v's nodes
+//	result(v→u)   — symmetric
+func (g *Graph) EdgeWeight(u, v *Vertex) float64 {
+	var w float64
+	if u.Interest != nil && v.Interest != nil {
+		w += u.Interest.OverlapWeightedSum(v.Interest, g.SubRates)
+	}
+	w += g.demand(u, v) + g.demand(v, u)
+	w += resultTo(u, v) + resultTo(v, u)
+	return w
+}
+
+func (g *Graph) demand(q, n *Vertex) float64 {
+	if q.Interest == nil || len(n.Nodes) == 0 {
+		return 0
+	}
+	var w float64
+	for _, node := range n.Nodes {
+		if subs, ok := g.subsByNode[node]; ok {
+			w += q.Interest.OverlapWeightedSum(subs, g.SubRates)
+		}
+	}
+	return w
+}
+
+func resultTo(q, n *Vertex) float64 {
+	if len(q.ResultRates) == 0 || len(n.Nodes) == 0 {
+		return 0
+	}
+	var w float64
+	for _, node := range n.Nodes {
+		w += q.ResultRates[node]
+	}
+	return w
+}
+
+// ComputeEdges materializes the full edge set from vertex content,
+// replacing any existing edges. Cost is O(|V|²) edge-weight evaluations.
+func (g *Graph) ComputeEdges() {
+	for i := range g.adj {
+		g.adj[i] = nil
+	}
+	for i := 0; i < len(g.Vertices); i++ {
+		for j := i + 1; j < len(g.Vertices); j++ {
+			w := g.EdgeWeight(g.Vertices[i], g.Vertices[j])
+			if w > 0 {
+				g.setEdge(i, j, w)
+			}
+		}
+	}
+}
+
+func (g *Graph) setEdge(i, j int, w float64) {
+	if g.adj[i] == nil {
+		g.adj[i] = make(map[int]float64)
+	}
+	if g.adj[j] == nil {
+		g.adj[j] = make(map[int]float64)
+	}
+	g.adj[i][j] = w
+	g.adj[j][i] = w
+}
+
+func (g *Graph) deleteVertexEdges(i int) {
+	for j := range g.adj[i] {
+		delete(g.adj[j], i)
+	}
+	g.adj[i] = nil
+}
+
+// Neighbors returns the adjacency map of vertex i; callers must not modify
+// it.
+func (g *Graph) Neighbors(i int) map[int]float64 { return g.adj[i] }
+
+// ConnectVertex computes and installs the edges between vertex v (already
+// added to the graph) and every other vertex — the incremental step of
+// online query insertion (§3.6). Cost is O(|V|) edge evaluations.
+func (g *Graph) ConnectVertex(v *Vertex) {
+	for j, o := range g.Vertices {
+		if j == v.ID || o == nil {
+			continue
+		}
+		if w := g.EdgeWeight(v, o); w > 0 {
+			g.setEdge(v.ID, j, w)
+		}
+	}
+}
+
+// RemoveVertexEdges detaches vertex i from all neighbors (used when a
+// vertex migrates out of a coordinator's graph).
+func (g *Graph) RemoveVertexEdges(i int) { g.deleteVertexEdges(i) }
+
+// DropOverlapEdges removes every query-query edge, leaving only source and
+// result edges — the ablation of the paper's communication-sharing model
+// component (Table 2's scheme-2-versus-scheme-3 distinction).
+func (g *Graph) DropOverlapEdges() {
+	for i, u := range g.Vertices {
+		if u.IsN() {
+			continue
+		}
+		for j := range g.adj[i] {
+			if v := g.Vertices[j]; v != nil && !v.IsN() {
+				delete(g.adj[i], j)
+				delete(g.adj[j], i)
+			}
+		}
+	}
+}
+
+// SourceNodes returns the distinct origin nodes of the substreams set in
+// the interest vector.
+func (g *Graph) SourceNodes(interest *bitvec.Vector) []topology.NodeID {
+	if interest == nil {
+		return nil
+	}
+	seen := make(map[topology.NodeID]bool)
+	var out []topology.NodeID
+	for _, idx := range interest.Indices() {
+		n := g.SourceOfSub[idx]
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// AdjacencyLists returns dense adjacency slices sorted by neighbor ID,
+// suitable for the mapping algorithms.
+func (g *Graph) AdjacencyLists() [][]Adj {
+	out := make([][]Adj, len(g.Vertices))
+	for i, m := range g.adj {
+		lst := make([]Adj, 0, len(m))
+		for j, w := range m {
+			lst = append(lst, Adj{To: j, W: w})
+		}
+		sort.Slice(lst, func(a, b int) bool { return lst[a].To < lst[b].To })
+		out[i] = lst
+	}
+	return out
+}
+
+// EdgeCount returns the number of (undirected) edges.
+func (g *Graph) EdgeCount() int {
+	n := 0
+	for _, m := range g.adj {
+		n += len(m)
+	}
+	return n / 2
+}
+
+// TotalQueryLoad returns Σ Wq over q-vertices.
+func (g *Graph) TotalQueryLoad() float64 {
+	var s float64
+	for _, v := range g.Vertices {
+		s += v.Weight
+	}
+	return s
+}
+
+// CoarsenOptions tunes Algorithm 1.
+type CoarsenOptions struct {
+	// VMax is the target vertex count.
+	VMax int
+	// Rng drives random vertex selection; nil seeds a fixed PCG.
+	Rng *rand.Rand
+	// NoQN forbids merging q-vertices into n-vertices. The coordinator
+	// hierarchy rebuilds n-vertices locally at every level and only
+	// ships query-bearing vertices, so it keeps the two kinds separate.
+	NoQN bool
+	// CountQOnly makes VMax count only query-bearing vertices, leaving
+	// pure n-vertices outside the budget.
+	CountQOnly bool
+	// CanMerge, when non-nil, adds an extra admissibility constraint on
+	// candidate pairs. The adaptation path uses it to only merge
+	// vertices currently placed on the same child, so that coarse-level
+	// warm starts introduce no spurious migrations.
+	CanMerge func(u, v *Vertex) bool
+}
+
+func (o CoarsenOptions) withDefaults() CoarsenOptions {
+	if o.Rng == nil {
+		o.Rng = rand.New(rand.NewPCG(13, 1313))
+	}
+	if o.VMax <= 0 {
+		o.VMax = 1
+	}
+	return o
+}
+
+// CoarsenResult is the outcome of one Coarsen call.
+type CoarsenResult struct {
+	Graph *Graph
+	// FineToCoarse maps fine vertex ID -> coarse vertex ID.
+	FineToCoarse []int
+	// CoarseToFine maps coarse vertex ID -> fine vertex IDs.
+	CoarseToFine [][]int
+}
+
+// collapse merges u and v (Algorithm 1 lines 8–14) into a fresh vertex.
+func collapse(u, v *Vertex) *Vertex {
+	w := &Vertex{
+		Weight:    u.Weight + v.Weight,
+		StateSize: u.StateSize + v.StateSize,
+		Clu:       ClusterUnknown,
+		Tag:       u.Tag,
+	}
+	w.Nodes = append(append([]topology.NodeID(nil), u.Nodes...), v.Nodes...)
+	w.Queries = append(append([]QueryInfo(nil), u.Queries...), v.Queries...)
+	switch {
+	case u.Interest != nil && v.Interest != nil:
+		w.Interest = u.Interest.Clone()
+		_ = w.Interest.Or(v.Interest) // lengths equal within one graph
+	case u.Interest != nil:
+		w.Interest = u.Interest.Clone()
+	case v.Interest != nil:
+		w.Interest = v.Interest.Clone()
+	}
+	if len(u.ResultRates)+len(v.ResultRates) > 0 {
+		w.ResultRates = make(map[topology.NodeID]float64, len(u.ResultRates)+len(v.ResultRates))
+		for n, r := range u.ResultRates {
+			w.ResultRates[n] += r
+		}
+		for n, r := range v.ResultRates {
+			w.ResultRates[n] += r
+		}
+	}
+	// w.clu = is_n(u) ? u.clu : v.clu (Algorithm 1 line 14).
+	if u.IsN() {
+		w.Clu = u.Clu
+		w.Assignable = u.Assignable
+	} else if v.IsN() {
+		w.Clu = v.Clu
+		w.Assignable = v.Assignable
+	}
+	if w.Tag == "" {
+		w.Tag = v.Tag
+	}
+	return w
+}
+
+// Coarsen runs Algorithm 1: repeatedly collapse heavy-edge-matched vertex
+// pairs until at most VMax vertices remain. N-vertices from different
+// clusters (or with unknown cluster) are never merged, because they must map
+// to different network-graph vertices. The receiver is not modified.
+func (g *Graph) Coarsen(opts CoarsenOptions) *CoarsenResult {
+	opts = opts.withDefaults()
+	rng := opts.Rng
+	cur := g.cloneShallow()
+	fineToCur := make([]int, len(g.Vertices))
+	for i := range fineToCur {
+		fineToCur[i] = i
+	}
+	// count tallies live (non-merged) vertices, restricted to query-
+	// bearing ones in q-only mode. Merged-away slots are nil.
+	count := func(gr *Graph) int {
+		n := 0
+		for _, v := range gr.Vertices {
+			if v == nil {
+				continue
+			}
+			if !opts.CountQOnly || len(v.Queries) > 0 {
+				n++
+			}
+		}
+		return n
+	}
+
+	for count(cur) > opts.VMax {
+		matched := make([]bool, len(cur.Vertices))
+		order := rng.Perm(len(cur.Vertices))
+		merges := 0
+		live := count(cur)
+		// redirect[old] = merged-into index within cur's ID space.
+		redirect := make(map[int]int)
+
+		for _, ui := range order {
+			if live <= opts.VMax {
+				break
+			}
+			if matched[ui] || cur.Vertices[ui] == nil {
+				continue
+			}
+			u := cur.Vertices[ui]
+			// A ← adj(u) − matched(adj(u)), with the n-vertex
+			// cluster restriction of Algorithm 1 line 6.
+			best, bestW := -1, 0.0
+			for vi, w := range cur.adj[ui] {
+				if matched[vi] || cur.Vertices[vi] == nil {
+					continue
+				}
+				v := cur.Vertices[vi]
+				if u.IsN() && v.IsN() &&
+					(u.Clu != v.Clu || v.Clu == ClusterUnknown) {
+					continue
+				}
+				// A query must not be absorbed into an n-vertex
+				// pinned to an unassignable anchor (or with an
+				// unknown pin): it would be forced onto a node
+				// that cannot process it.
+				if u.IsN() != v.IsN() {
+					if opts.NoQN {
+						continue
+					}
+					n := u
+					if v.IsN() {
+						n = v
+					}
+					if !n.Assignable || n.Clu == ClusterUnknown {
+						continue
+					}
+				}
+				if opts.CanMerge != nil && !opts.CanMerge(u, v) {
+					continue
+				}
+				if w > bestW || (w == bestW && best >= 0 && vi < best) {
+					best, bestW = vi, w
+				}
+			}
+			if best < 0 {
+				matched[ui] = true
+				continue
+			}
+			v := cur.Vertices[best]
+			merged := collapse(u, v)
+			merged.ID = ui
+			cur.Vertices[ui] = merged
+			cur.Vertices[best] = nil
+			matched[ui] = true
+
+			// Re-estimate edges of the merged vertex (line 11).
+			neighbors := make(map[int]bool, len(cur.adj[ui])+len(cur.adj[best]))
+			for j := range cur.adj[ui] {
+				neighbors[j] = true
+			}
+			for j := range cur.adj[best] {
+				neighbors[j] = true
+			}
+			cur.deleteVertexEdges(ui)
+			cur.deleteVertexEdges(best)
+			for j := range neighbors {
+				if j == ui || j == best || cur.Vertices[j] == nil {
+					continue
+				}
+				if w := cur.EdgeWeight(merged, cur.Vertices[j]); w > 0 {
+					cur.setEdge(ui, j, w)
+				}
+			}
+			redirect[best] = ui
+			// A merge reduces the counted vertex set only when both
+			// halves were counted (both query-bearing in q-only
+			// mode).
+			if !opts.CountQOnly || (len(u.Queries) > 0 && len(v.Queries) > 0) {
+				merges++
+				live--
+			}
+		}
+		if merges == 0 {
+			break // nothing mergeable (all blocked by constraints)
+		}
+		// Compact: drop nil slots and rebuild IDs.
+		cur, fineToCur = compact(cur, fineToCur, redirect)
+	}
+
+	res := &CoarsenResult{
+		Graph:        cur,
+		FineToCoarse: fineToCur,
+		CoarseToFine: make([][]int, len(cur.Vertices)),
+	}
+	for fine, coarse := range fineToCur {
+		res.CoarseToFine[coarse] = append(res.CoarseToFine[coarse], fine)
+	}
+	return res
+}
+
+// cloneShallow copies graph structure (vertices are shared pointers for
+// unmerged vertices; merged ones are fresh).
+func (g *Graph) cloneShallow() *Graph {
+	c := &Graph{
+		SubRates:    g.SubRates,
+		SourceOfSub: g.SourceOfSub,
+		subsByNode:  g.subsByNode,
+		Vertices:    make([]*Vertex, len(g.Vertices)),
+		adj:         make([]map[int]float64, len(g.Vertices)),
+	}
+	copy(c.Vertices, g.Vertices)
+	for i, m := range g.adj {
+		if len(m) == 0 {
+			continue
+		}
+		c.adj[i] = make(map[int]float64, len(m))
+		for j, w := range m {
+			c.adj[i][j] = w
+		}
+	}
+	return c
+}
+
+func compact(cur *Graph, fineToCur []int, redirect map[int]int) (*Graph, []int) {
+	resolve := func(i int) int {
+		for {
+			j, ok := redirect[i]
+			if !ok {
+				return i
+			}
+			i = j
+		}
+	}
+	newID := make(map[int]int, len(cur.Vertices))
+	out := &Graph{
+		SubRates:    cur.SubRates,
+		SourceOfSub: cur.SourceOfSub,
+		subsByNode:  cur.subsByNode,
+	}
+	for i, v := range cur.Vertices {
+		if v == nil {
+			continue
+		}
+		newID[i] = len(out.Vertices)
+		v.ID = len(out.Vertices)
+		out.Vertices = append(out.Vertices, v)
+		out.adj = append(out.adj, nil)
+	}
+	for i, m := range cur.adj {
+		if cur.Vertices[i] == nil {
+			continue
+		}
+		ni := newID[i]
+		for j, w := range m {
+			if cur.Vertices[j] == nil {
+				continue
+			}
+			nj := newID[j]
+			if ni < nj {
+				out.setEdge(ni, nj, w)
+			}
+		}
+	}
+	next := make([]int, len(fineToCur))
+	for f, c := range fineToCur {
+		next[f] = newID[resolve(c)]
+	}
+	return out, next
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/querygraph"
+	"repro/internal/topology"
+)
+
+// TestAdaptConvergesFromRandom mirrors Fig 7(a): a random initial
+// allocation (modelling inaccurate a-priori statistics) must be gradually
+// repaired by adaptation rounds, with migrations decaying over time.
+func TestAdaptConvergesFromRandom(t *testing.T) {
+	w, wl := testWorld(t, 800)
+
+	tree, err := hierarchy.Build(w.Oracle, w.Processors, nil, hierarchy.Config{K: 3, VMax: 40, Seed: 7})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	random := w.RandomPlacement(wl, 5)
+	err = tree.DistributeWith(wl.Queries, wl.SubRates, wl.SourceOfSub,
+		func(q querygraph.QueryInfo) topology.NodeID { return random[q.Name] })
+	if err != nil {
+		t.Fatalf("DistributeWith: %v", err)
+	}
+	place := Placement(tree.Placement())
+	for name, proc := range random {
+		if place[name] != proc {
+			t.Fatalf("placement of %s not restored: got %d want %d", name, place[name], proc)
+		}
+	}
+	cost0 := w.WeightedCommCost(wl, place)
+
+	var costs []float64
+	var migrations []int
+	for round := 0; round < 6; round++ {
+		rep, err := tree.Adapt(nil)
+		if err != nil {
+			t.Fatalf("Adapt round %d: %v", round, err)
+		}
+		place = Placement(tree.Placement())
+		costs = append(costs, w.WeightedCommCost(wl, place))
+		migrations = append(migrations, rep.Migrations)
+		t.Logf("round %d: cost=%.0f migrations=%d", round, costs[round], rep.Migrations)
+	}
+	t.Logf("initial cost=%.0f", cost0)
+
+	last := len(costs) - 1
+	if costs[last] >= cost0*0.97 {
+		t.Errorf("adaptation did not meaningfully reduce cost: %.0f -> %.0f", cost0, costs[last])
+	}
+	if migrations[last] >= migrations[0] {
+		t.Errorf("migrations did not decay: first=%d last=%d", migrations[0], migrations[last])
+	}
+}
+
+// TestAdaptRebalancesSkewedLoad exercises the diffusion path of Algorithm 3:
+// all queries piled on three processors must spread out across the system.
+func TestAdaptRebalancesSkewedLoad(t *testing.T) {
+	w, wl := testWorld(t, 600)
+
+	tree, err := hierarchy.Build(w.Oracle, w.Processors, nil, hierarchy.Config{K: 3, VMax: 40, Seed: 7})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	hot := w.Processors[:3]
+	i := 0
+	err = tree.DistributeWith(wl.Queries, wl.SubRates, wl.SourceOfSub,
+		func(q querygraph.QueryInfo) topology.NodeID {
+			i++
+			return hot[i%len(hot)]
+		})
+	if err != nil {
+		t.Fatalf("DistributeWith: %v", err)
+	}
+	dev0 := w.LoadStdDev(wl, Placement(tree.Placement()), nil)
+
+	var dev float64
+	for round := 0; round < 5; round++ {
+		if _, err := tree.Adapt(nil); err != nil {
+			t.Fatalf("Adapt round %d: %v", round, err)
+		}
+		dev = w.LoadStdDev(wl, Placement(tree.Placement()), nil)
+		t.Logf("round %d: dev=%.3f", round, dev)
+	}
+	t.Logf("initial dev=%.3f", dev0)
+	if dev > dev0/2 {
+		t.Errorf("adaptation did not rebalance skewed load: %.3f -> %.3f", dev0, dev)
+	}
+}

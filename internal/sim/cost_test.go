@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/hierarchy"
+	"repro/internal/querygraph"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// tinyWorkload builds a hand-checkable 2-query workload over the CI world.
+func tinyWorkload(w *World) *workload.Workload {
+	nsub := 4
+	wl := &workload.Workload{
+		SubRates:    []float64{10, 10, 10, 10},
+		SourceOfSub: []topology.NodeID{w.Sources[0], w.Sources[0], w.Sources[1], w.Sources[1]},
+		GroupOf:     map[string]int{},
+	}
+	wl.Queries = []querygraph.QueryInfo{
+		{
+			Name:       "qa",
+			Proxy:      w.Processors[0],
+			Load:       1,
+			Interest:   bitvec.FromIndices(nsub, []int{0, 1}),
+			ResultRate: 2,
+		},
+		{
+			Name:       "qb",
+			Proxy:      w.Processors[1],
+			Load:       1,
+			Interest:   bitvec.FromIndices(nsub, []int{0}),
+			ResultRate: 2,
+		},
+	}
+	return wl
+}
+
+func TestWeightedCommCostUnionSemantics(t *testing.T) {
+	w, _ := testWorld(t, 1)
+	wl := tinyWorkload(w)
+	p0, p1 := w.Processors[0], w.Processors[1]
+	src := wl.SourceOfSub[0]
+
+	// Both queries co-located at p0: substream 0 travels ONCE.
+	coloc := Placement{"qa": p0, "qb": p0}
+	costColoc := w.WeightedCommCost(wl, coloc)
+	wantColoc := 10*w.Oracle.Latency(src, p0)*2 + // substreams 0,1 once each
+		2*w.Oracle.Latency(p0, p1) // qb's result to its proxy p1
+	if diff := costColoc - wantColoc; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("co-located cost = %v, want %v", costColoc, wantColoc)
+	}
+
+	// Split across processors: substream 0 travels twice.
+	split := Placement{"qa": p0, "qb": p1}
+	costSplit := w.WeightedCommCost(wl, split)
+	wantSplit := 10*w.Oracle.Latency(src, p0)*2 + 10*w.Oracle.Latency(src, p1)
+	if diff := costSplit - wantSplit; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("split cost = %v, want %v", costSplit, wantSplit)
+	}
+}
+
+func TestMulticastNeverExceedsPairwise(t *testing.T) {
+	w, wl := testWorld(t, 200)
+	p := NaivePlacement(wl)
+	mc := w.MulticastCommCost(wl, p)
+	pw := w.WeightedCommCost(wl, p)
+	if mc > pw {
+		t.Errorf("multicast cost %v exceeds pairwise %v (tree sharing must only save)", mc, pw)
+	}
+}
+
+func TestLoadStdDevZeroWhenUniform(t *testing.T) {
+	w, _ := testWorld(t, 1)
+	wl := tinyWorkload(w)
+	// One query per processor with equal load over 16 processors can
+	// never be uniform, but an empty placement is: everything zero.
+	if dev := w.LoadStdDev(wl, Placement{}, nil); dev != 0 {
+		t.Errorf("empty placement deviation = %v", dev)
+	}
+	// Custom load function is honored.
+	p := Placement{"qa": w.Processors[0], "qb": w.Processors[1]}
+	dev := w.LoadStdDev(wl, p, func(q querygraph.QueryInfo) float64 { return 0 })
+	if dev != 0 {
+		t.Errorf("zero-load deviation = %v", dev)
+	}
+}
+
+func TestNoShareCostExceedsShared(t *testing.T) {
+	w, wl := testWorld(t, 300)
+	p := NaivePlacement(wl)
+	shared := w.WeightedCommCost(wl, p)
+	solo := w.NoShareCommCost(wl, p)
+	if solo <= shared {
+		t.Errorf("no-share cost %v not above shared %v", solo, shared)
+	}
+}
+
+func TestDistributeRandomConsistentState(t *testing.T) {
+	w, wl := testWorld(t, 300)
+	tree, err := newTreeForTest(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.DistributeRandom(wl.Queries, wl.SubRates, wl.SourceOfSub, 3); err != nil {
+		t.Fatalf("DistributeRandom: %v", err)
+	}
+	if got := len(tree.Placement()); got != len(wl.Queries) {
+		t.Fatalf("placed %d of %d", got, len(wl.Queries))
+	}
+	// Adaptation must run cleanly on the random state.
+	if _, err := tree.Adapt(nil); err != nil {
+		t.Fatalf("Adapt after DistributeRandom: %v", err)
+	}
+}
+
+func newTreeForTest(w *World) (*hierarchy.Tree, error) { return w.newTree(ciOpts()) }

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/mapping"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// costParts decomposes the weighted cost into multicast-input and result
+// sides for diagnosis.
+func (w *World) costParts(wl *workload.Workload, p Placement) (src, res float64) {
+	interested := make(map[int]map[topology.NodeID]bool)
+	for _, q := range wl.Queries {
+		proc, ok := p[q.Name]
+		if !ok {
+			continue
+		}
+		for _, sub := range q.Interest.Indices() {
+			set, ok := interested[sub]
+			if !ok {
+				set = make(map[topology.NodeID]bool, 4)
+				interested[sub] = set
+			}
+			set[proc] = true
+		}
+	}
+	visited := make(map[topology.NodeID]bool, 64)
+	for sub, procs := range interested {
+		rate := wl.SubRates[sub]
+		t := w.tree(wl.SourceOfSub[sub])
+		clear(visited)
+		visited[wl.SourceOfSub[sub]] = true
+		var treeCost float64
+		for proc := range procs {
+			for n := proc; !visited[n]; {
+				visited[n] = true
+				par := t.parent[n]
+				if par < 0 {
+					break
+				}
+				treeCost += t.dist[n] - t.dist[par]
+				n = par
+			}
+		}
+		src += rate * treeCost
+	}
+	for _, q := range wl.Queries {
+		proc, ok := p[q.Name]
+		if !ok || proc == q.Proxy {
+			continue
+		}
+		res += q.ResultRate * w.Oracle.Latency(proc, q.Proxy)
+	}
+	return src, res
+}
+
+func TestDiagnoseCost(t *testing.T) {
+	w, wl := testWorld(t, 800)
+
+	cen, qg, ng, err := w.CentralizedPlacement(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	naive := NaivePlacement(wl)
+	// WEC of naive: build assignment placing each query at its proxy.
+	aNaive := make(mapping.Assignment, len(qg.Vertices))
+	for vi, v := range qg.Vertices {
+		if v.IsN() {
+			aNaive[vi] = v.Clu
+			continue
+		}
+		aNaive[vi] = ng.IndexOfNode(v.Queries[0].Proxy)
+	}
+
+	tree, err := hierarchy.Build(w.Oracle, w.Processors, nil, hierarchy.Config{K: 3, VMax: 40, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.Distribute(wl.Queries, wl.SubRates, wl.SourceOfSub); err != nil {
+		t.Fatal(err)
+	}
+	hier := Placement(tree.Placement())
+
+	// Oracle placement: cluster queries by interest group onto dedicated
+	// processor slices (upper bound on what clustering can achieve).
+	oracle := make(Placement, len(wl.Queries))
+	perGroup := len(w.Processors) / wl.Cfg.Groups
+	if perGroup < 1 {
+		perGroup = 1
+	}
+	counter := make(map[int]int)
+	for _, q := range wl.Queries {
+		g := wl.GroupOf[q.Name]
+		slot := counter[g] % perGroup
+		counter[g]++
+		oracle[q.Name] = w.Processors[(g*perGroup+slot)%len(w.Processors)]
+	}
+
+	for _, tc := range []struct {
+		name  string
+		place Placement
+	}{{"naive", naive}, {"centralized", cen}, {"hierarchical", hier}, {"group-oracle", oracle}} {
+		src, res := w.costParts(wl, tc.place)
+		procs := make(map[topology.NodeID]bool)
+		for _, p := range tc.place {
+			procs[p] = true
+		}
+		// Average number of receiving processors per substream.
+		perSub := make(map[int]map[topology.NodeID]bool)
+		for _, q := range wl.Queries {
+			for _, sub := range q.Interest.Indices() {
+				if perSub[sub] == nil {
+					perSub[sub] = make(map[topology.NodeID]bool)
+				}
+				perSub[sub][tc.place[q.Name]] = true
+			}
+		}
+		var fan float64
+		for _, s := range perSub {
+			fan += float64(len(s))
+		}
+		fan /= float64(len(perSub))
+		t.Logf("%-12s pairwise=%.0f mcastSrc=%.0f res=%.0f procsUsed=%d avgFanout=%.1f",
+			tc.name, w.WeightedCommCost(wl, tc.place), src, res, len(procs), fan)
+	}
+	t.Logf("WEC naive=%.0f", mapping.WEC(qg, ng, aNaive))
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/workload"
+)
+
+func testWorld(t *testing.T, queries int) (*World, *workload.Workload) {
+	t.Helper()
+	w, err := NewWorld(ConfigFor(ScaleCI))
+	if err != nil {
+		t.Fatalf("NewWorld: %v", err)
+	}
+	wl, err := w.GenerateWorkload(queries)
+	if err != nil {
+		t.Fatalf("GenerateWorkload: %v", err)
+	}
+	return w, wl
+}
+
+func TestEndToEndHierarchicalBeatsNaive(t *testing.T) {
+	w, wl := testWorld(t, 800)
+
+	tree, err := hierarchy.Build(w.Oracle, w.Processors, nil, hierarchy.Config{K: 3, VMax: 40, Seed: 7})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := tree.Distribute(wl.Queries, wl.SubRates, wl.SourceOfSub); err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+	place := Placement(tree.Placement())
+	if len(place) != len(wl.Queries) {
+		t.Fatalf("placed %d of %d queries", len(place), len(wl.Queries))
+	}
+
+	naive := NaivePlacement(wl)
+	costH := w.WeightedCommCost(wl, place)
+	costN := w.WeightedCommCost(wl, naive)
+	t.Logf("hierarchical=%.0f naive=%.0f", costH, costN)
+	if costH >= costN {
+		t.Errorf("hierarchical cost %.0f not below naive %.0f", costH, costN)
+	}
+
+	imb := w.MaxLoadImbalance(wl, place)
+	t.Logf("max load imbalance: %.3f", imb)
+	if imb > 3 {
+		t.Errorf("hierarchical load imbalance %.2f too high", imb)
+	}
+}
+
+func TestCentralizedAndGreedy(t *testing.T) {
+	w, wl := testWorld(t, 800)
+
+	cen, _, _, err := w.CentralizedPlacement(wl)
+	if err != nil {
+		t.Fatalf("Centralized: %v", err)
+	}
+	greedy, err := w.GreedyPlacement(wl)
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	naive := NaivePlacement(wl)
+
+	costC := w.WeightedCommCost(wl, cen)
+	costG := w.WeightedCommCost(wl, greedy)
+	costN := w.WeightedCommCost(wl, naive)
+	t.Logf("centralized=%.0f greedy=%.0f naive=%.0f", costC, costG, costN)
+	if costC > costG*1.05 {
+		t.Errorf("centralized %.0f worse than greedy %.0f", costC, costG)
+	}
+	if costG >= costN {
+		t.Errorf("greedy %.0f not below naive %.0f", costG, costN)
+	}
+}

@@ -1,0 +1,151 @@
+// Package sim is the simulation harness of the performance study (§4.1):
+// it wires the topology generator, workload generator, coordinator
+// hierarchy, baselines and cost model together, and provides one driver per
+// figure of the paper's evaluation.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Scale selects an experiment size.
+type Scale int
+
+// Available scales. ScaleCI is sized for single-machine test runs; ScalePaper
+// reproduces the paper's 4096-node / 20k-substream configuration.
+const (
+	ScaleCI Scale = iota + 1
+	ScaleMedium
+	ScalePaper
+)
+
+// Config describes a simulated world.
+type Config struct {
+	Topology      topology.Config
+	NumSources    int
+	NumProcessors int
+	Workload      workload.Config
+	Seed          uint64
+}
+
+// ConfigFor returns the configuration for a scale.
+func ConfigFor(s Scale) Config {
+	switch s {
+	case ScalePaper:
+		// §4.1: 4096 nodes, 100 sources, 256 processors, 20,000
+		// substreams.
+		return Config{
+			Topology:      topology.DefaultConfig(),
+			NumSources:    100,
+			NumProcessors: 256,
+			Workload:      workload.DefaultConfig(),
+			Seed:          1,
+		}
+	case ScaleMedium:
+		tc := topology.DefaultConfig()
+		tc.TransitDomains = 2
+		tc.TransitNodes = 3
+		tc.StubDomainsPerNode = 8
+		tc.StubNodes = 8
+		wc := workload.DefaultConfig()
+		wc.NumSubstreams = 4000
+		wc.SubsPerQueryMin = 40
+		wc.SubsPerQueryMax = 80
+		return Config{
+			Topology:      tc,
+			NumSources:    40,
+			NumProcessors: 96,
+			Workload:      wc,
+			Seed:          1,
+		}
+	default: // ScaleCI
+		// Sized so the paper's effects are visible on one machine:
+		// queries ≫ processors (so unoptimized placements saturate
+		// every processor with every hot substream) while one
+		// interest group still fits on a couple of processors.
+		tc := topology.DefaultConfig()
+		tc.TransitDomains = 2
+		tc.TransitNodes = 2
+		tc.StubDomainsPerNode = 4
+		tc.StubNodes = 8
+		wc := workload.DefaultConfig()
+		wc.NumSubstreams = 6000
+		wc.SubsPerQueryMin = 20
+		wc.SubsPerQueryMax = 40
+		wc.Groups = 10
+		return Config{
+			Topology:      tc,
+			NumSources:    8,
+			NumProcessors: 16,
+			Seed:          1,
+			Workload:      wc,
+		}
+	}
+}
+
+// World is an instantiated simulation environment.
+type World struct {
+	Cfg        Config
+	Graph      *topology.Graph
+	Oracle     *topology.Oracle
+	Sources    []topology.NodeID
+	Processors []topology.NodeID
+
+	// spTrees caches shortest-path trees rooted at sources and
+	// processors for multicast-cost computation.
+	spTrees map[topology.NodeID]spTree
+}
+
+type spTree struct {
+	dist   []float64
+	parent []topology.NodeID
+}
+
+// NewWorld generates the topology and picks disjoint source and processor
+// node sets (stub nodes, as in the paper where the rest act as routers).
+func NewWorld(cfg Config) (*World, error) {
+	g, err := topology.Generate(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	exclude := make(map[topology.NodeID]bool)
+	sources, err := topology.SampleNodes(g, topology.Stub, cfg.NumSources, cfg.Seed, exclude)
+	if err != nil {
+		return nil, fmt.Errorf("sim: pick sources: %w", err)
+	}
+	for _, s := range sources {
+		exclude[s] = true
+	}
+	procs, err := topology.SampleNodes(g, topology.Stub, cfg.NumProcessors, cfg.Seed+1, exclude)
+	if err != nil {
+		return nil, fmt.Errorf("sim: pick processors: %w", err)
+	}
+	return &World{
+		Cfg:        cfg,
+		Graph:      g,
+		Oracle:     topology.NewOracle(g),
+		Sources:    sources,
+		Processors: procs,
+		spTrees:    make(map[topology.NodeID]spTree),
+	}, nil
+}
+
+// GenerateWorkload draws a workload of numQueries queries over the world.
+func (w *World) GenerateWorkload(numQueries int) (*workload.Workload, error) {
+	wc := w.Cfg.Workload
+	wc.Seed = w.Cfg.Seed + 100
+	return workload.Generate(wc, w.Sources, w.Processors, numQueries)
+}
+
+func (w *World) tree(root topology.NodeID) spTree {
+	if t, ok := w.spTrees[root]; ok {
+		return t
+	}
+	dist, parent := w.Graph.DijkstraTree(root)
+	t := spTree{dist: dist, parent: parent}
+	w.spTrees[root] = t
+	return t
+}

@@ -1,0 +1,119 @@
+// Package stats implements the statistics-collection substrate of §3.8:
+// sources periodically publish per-substream rates, processors publish
+// per-query CPU loads, and interested parties (coordinators, the cost
+// model) observe values with change detection so only deltas propagate.
+package stats
+
+import (
+	"math"
+	"sync"
+)
+
+// Collector aggregates substream rates and query loads with versioning:
+// every accepted change bumps the version, letting observers cheaply poll
+// "has anything changed since I last looked".
+type Collector struct {
+	mu      sync.RWMutex
+	rates   []float64
+	loads   map[string]float64
+	version uint64
+	// epsilon is the relative-change threshold below which updates are
+	// suppressed (the paper resubmits stats only when values change).
+	epsilon float64
+}
+
+// NewCollector returns a collector over a substream space of the given
+// size. epsilon suppresses relative changes smaller than the threshold;
+// zero means every change propagates.
+func NewCollector(numSubstreams int, epsilon float64) *Collector {
+	return &Collector{
+		rates:   make([]float64, numSubstreams),
+		loads:   make(map[string]float64),
+		epsilon: epsilon,
+	}
+}
+
+// ReportRate records a substream rate observation. It returns true when the
+// change was significant enough to propagate.
+func (c *Collector) ReportRate(sub int, rate float64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sub < 0 || sub >= len(c.rates) {
+		return false
+	}
+	if !significant(c.rates[sub], rate, c.epsilon) {
+		return false
+	}
+	c.rates[sub] = rate
+	c.version++
+	return true
+}
+
+// ReportLoad records a per-query CPU load observation.
+func (c *Collector) ReportLoad(query string, load float64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !significant(c.loads[query], load, c.epsilon) {
+		return false
+	}
+	c.loads[query] = load
+	c.version++
+	return true
+}
+
+// DropQuery forgets a terminated query's load.
+func (c *Collector) DropQuery(query string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.loads[query]; ok {
+		delete(c.loads, query)
+		c.version++
+	}
+}
+
+// Rate returns the last reported rate of a substream.
+func (c *Collector) Rate(sub int) float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if sub < 0 || sub >= len(c.rates) {
+		return 0
+	}
+	return c.rates[sub]
+}
+
+// Load returns the last reported load of a query (0 if unknown).
+func (c *Collector) Load(query string) float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.loads[query]
+}
+
+// Version returns the current statistics version.
+func (c *Collector) Version() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
+}
+
+// SnapshotRates copies the rate vector into dst (allocating when nil) and
+// returns it with the version at snapshot time.
+func (c *Collector) SnapshotRates(dst []float64) ([]float64, uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if dst == nil || len(dst) != len(c.rates) {
+		dst = make([]float64, len(c.rates))
+	}
+	copy(dst, c.rates)
+	return dst, c.version
+}
+
+func significant(old, new, eps float64) bool {
+	if old == new {
+		return false
+	}
+	if eps <= 0 {
+		return true
+	}
+	base := math.Max(math.Abs(old), math.Abs(new))
+	return math.Abs(new-old) > eps*base
+}

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestReportAndRead(t *testing.T) {
+	c := NewCollector(4, 0)
+	if !c.ReportRate(0, 5) {
+		t.Error("first report suppressed")
+	}
+	if c.Rate(0) != 5 {
+		t.Errorf("Rate = %v", c.Rate(0))
+	}
+	if c.ReportRate(0, 5) {
+		t.Error("identical report not suppressed")
+	}
+	if c.ReportRate(9, 1) {
+		t.Error("out-of-range report accepted")
+	}
+	if c.Rate(9) != 0 {
+		t.Error("out-of-range Rate nonzero")
+	}
+}
+
+func TestEpsilonSuppression(t *testing.T) {
+	c := NewCollector(1, 0.1)
+	c.ReportRate(0, 100)
+	v := c.Version()
+	if c.ReportRate(0, 105) { // 5% change < 10% threshold
+		t.Error("sub-threshold change propagated")
+	}
+	if c.Version() != v {
+		t.Error("version bumped for suppressed change")
+	}
+	if !c.ReportRate(0, 120) { // 20% change
+		t.Error("significant change suppressed")
+	}
+}
+
+func TestLoads(t *testing.T) {
+	c := NewCollector(0, 0)
+	if !c.ReportLoad("q1", 0.5) {
+		t.Error("load report suppressed")
+	}
+	if c.Load("q1") != 0.5 {
+		t.Errorf("Load = %v", c.Load("q1"))
+	}
+	c.DropQuery("q1")
+	if c.Load("q1") != 0 {
+		t.Error("dropped query still has load")
+	}
+	v := c.Version()
+	c.DropQuery("q1") // double drop: no version bump
+	if c.Version() != v {
+		t.Error("double drop bumped version")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	c := NewCollector(3, 0)
+	c.ReportRate(1, 7)
+	snap, ver := c.SnapshotRates(nil)
+	if snap[1] != 7 || ver != c.Version() {
+		t.Errorf("snapshot = %v @%d", snap, ver)
+	}
+	snap[1] = 99
+	if c.Rate(1) != 7 {
+		t.Error("snapshot aliases internal state")
+	}
+	// Reuse a correctly sized destination.
+	dst := make([]float64, 3)
+	out, _ := c.SnapshotRates(dst)
+	if &out[0] != &dst[0] {
+		t.Error("snapshot did not reuse destination")
+	}
+}
+
+func TestConcurrentReporters(t *testing.T) {
+	c := NewCollector(64, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.ReportRate((g*31+i)%64, float64(i))
+				_ = c.Rate(i % 64)
+				c.ReportLoad("q", float64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Version() == 0 {
+		t.Error("no versions recorded")
+	}
+}

@@ -1,0 +1,317 @@
+// Package transport runs the Pub/Sub broker protocol over TCP, turning the
+// in-process overlay into a genuinely distributed one: each process hosts
+// one broker and exchanges gob-encoded envelopes (advertisements,
+// subscriptions, data tuples) with its overlay neighbors. It implements
+// pubsub.Fabric, so the routing logic is byte-for-byte the same code that
+// the simulation and the embedded middleware run.
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/pubsub"
+	"repro/internal/query"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// MsgKind discriminates wire envelopes.
+type MsgKind int
+
+// Envelope kinds.
+const (
+	MsgAdvert MsgKind = iota + 1
+	MsgSubscribe
+	MsgData
+)
+
+// Envelope is the single wire message type.
+type Envelope struct {
+	Kind MsgKind
+	From topology.NodeID
+	// Advert
+	StreamName string
+	// Subscribe
+	Sub *WireSubscription
+	// Data
+	Tuple *stream.Tuple
+}
+
+// WireSubscription is the gob-friendly form of pubsub.Subscription (the
+// Predicate type contains interface-free pointers, so a flat encoding keeps
+// the wire format stable).
+type WireSubscription struct {
+	ID      string
+	Streams []string
+	Attrs   []string
+	Filters []WirePredicate
+}
+
+// WirePredicate flattens query.Predicate: each operand is either a column
+// name or a literal.
+type WirePredicate struct {
+	LeftCol   string
+	LeftLit   *stream.Value
+	Op        query.Op
+	RightCol  string
+	RightLit  *stream.Value
+	LeftAlias string
+	RightAls  string
+}
+
+func toWire(s *pubsub.Subscription) *WireSubscription {
+	w := &WireSubscription{
+		ID:      s.ID,
+		Streams: append([]string(nil), s.Streams...),
+		Attrs:   append([]string(nil), s.Attrs...),
+	}
+	for _, p := range s.Filters {
+		wp := WirePredicate{Op: p.Op}
+		if p.Left.Col != nil {
+			wp.LeftCol = p.Left.Col.Attr
+			wp.LeftAlias = p.Left.Col.Alias
+		}
+		if p.Left.Lit != nil {
+			v := *p.Left.Lit
+			wp.LeftLit = &v
+		}
+		if p.Right.Col != nil {
+			wp.RightCol = p.Right.Col.Attr
+			wp.RightAls = p.Right.Col.Alias
+		}
+		if p.Right.Lit != nil {
+			v := *p.Right.Lit
+			wp.RightLit = &v
+		}
+		w.Filters = append(w.Filters, wp)
+	}
+	return w
+}
+
+func fromWire(w *WireSubscription) *pubsub.Subscription {
+	s := &pubsub.Subscription{
+		ID:      w.ID,
+		Streams: append([]string(nil), w.Streams...),
+		Attrs:   w.Attrs,
+	}
+	for _, wp := range w.Filters {
+		p := query.Predicate{Op: wp.Op}
+		if wp.LeftCol != "" || wp.LeftAlias != "" {
+			p.Left.Col = &query.ColRef{Alias: wp.LeftAlias, Attr: wp.LeftCol}
+		}
+		if wp.LeftLit != nil {
+			p.Left.Lit = wp.LeftLit
+		}
+		if wp.RightCol != "" || wp.RightAls != "" {
+			p.Right.Col = &query.ColRef{Alias: wp.RightAls, Attr: wp.RightCol}
+		}
+		if wp.RightLit != nil {
+			p.Right.Lit = wp.RightLit
+		}
+		s.Filters = append(s.Filters, p)
+	}
+	return s
+}
+
+// Node hosts one broker over TCP.
+type Node struct {
+	ID     topology.NodeID
+	Broker *pubsub.Broker
+
+	mu      sync.Mutex
+	ln      net.Listener
+	peers   map[topology.NodeID]*peerConn
+	addrs   map[topology.NodeID]string
+	inbound map[net.Conn]bool
+	data    map[topology.NodeID]float64
+	control map[topology.NodeID]float64
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// NewNode creates a broker node listening on addr (e.g. "127.0.0.1:0").
+func NewNode(id topology.NodeID, addr string) (*Node, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	n := &Node{
+		ID:      id,
+		ln:      ln,
+		peers:   make(map[topology.NodeID]*peerConn),
+		addrs:   make(map[topology.NodeID]string),
+		inbound: make(map[net.Conn]bool),
+		data:    make(map[topology.NodeID]float64),
+		control: make(map[topology.NodeID]float64),
+	}
+	n.Broker = pubsub.NewBroker(n, id)
+	n.wg.Add(1)
+	go n.accept()
+	return n, nil
+}
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Connect registers a neighbor at the given address. Both ends must connect
+// to each other (the overlay is built from a static edge list).
+func (n *Node) Connect(peer topology.NodeID, addr string) {
+	n.mu.Lock()
+	n.addrs[peer] = addr
+	n.mu.Unlock()
+	n.Broker.AddNeighbor(peer)
+}
+
+// Close shuts the node down and waits for its goroutines.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	err := n.ln.Close()
+	for _, p := range n.peers {
+		_ = p.conn.Close()
+	}
+	for c := range n.inbound {
+		_ = c.Close()
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+	return err
+}
+
+// accept serves inbound envelope streams.
+func (n *Node) accept() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		n.inbound[conn] = true
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.serve(conn)
+	}
+}
+
+func (n *Node) serve(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		n.mu.Lock()
+		delete(n.inbound, conn)
+		n.mu.Unlock()
+		_ = conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var env Envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		switch env.Kind {
+		case MsgAdvert:
+			n.Broker.AdvertFrom(env.From, env.StreamName)
+		case MsgSubscribe:
+			if env.Sub != nil {
+				n.Broker.PropagateFrom(fromWire(env.Sub), env.From)
+			}
+		case MsgData:
+			if env.Tuple != nil {
+				n.Broker.RouteFrom(*env.Tuple, env.From)
+			}
+		}
+	}
+}
+
+// send delivers one envelope to a peer, dialing lazily.
+func (n *Node) send(peer topology.NodeID, env Envelope) error {
+	n.mu.Lock()
+	pc, ok := n.peers[peer]
+	if !ok {
+		addr, known := n.addrs[peer]
+		if !known {
+			n.mu.Unlock()
+			return fmt.Errorf("transport: node %d has no address for peer %d", n.ID, peer)
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			n.mu.Unlock()
+			return fmt.Errorf("transport: dial peer %d: %w", peer, err)
+		}
+		pc = &peerConn{conn: conn, enc: gob.NewEncoder(conn)}
+		n.peers[peer] = pc
+	}
+	n.mu.Unlock()
+
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.enc.Encode(env)
+}
+
+// remotePeer adapts one neighbor to pubsub.Peer.
+type remotePeer struct {
+	n  *Node
+	id topology.NodeID
+}
+
+func (r remotePeer) AdvertFrom(from topology.NodeID, streamName string) {
+	_ = r.n.send(r.id, Envelope{Kind: MsgAdvert, From: from, StreamName: streamName})
+}
+
+func (r remotePeer) PropagateFrom(sub *pubsub.Subscription, from topology.NodeID) {
+	_ = r.n.send(r.id, Envelope{Kind: MsgSubscribe, From: from, Sub: toWire(sub)})
+}
+
+func (r remotePeer) RouteFrom(t stream.Tuple, from topology.NodeID) {
+	_ = r.n.send(r.id, Envelope{Kind: MsgData, From: from, Tuple: &t})
+}
+
+// Peer implements pubsub.Fabric.
+func (n *Node) Peer(id topology.NodeID) pubsub.Peer { return remotePeer{n: n, id: id} }
+
+// CountControl implements pubsub.Fabric.
+func (n *Node) CountControl(_, to topology.NodeID, size int) {
+	n.mu.Lock()
+	n.control[to] += float64(size)
+	n.mu.Unlock()
+}
+
+// CountData implements pubsub.Fabric.
+func (n *Node) CountData(_, to topology.NodeID, size int) {
+	n.mu.Lock()
+	n.data[to] += float64(size)
+	n.mu.Unlock()
+}
+
+// SentBytes returns the data and control bytes this node sent per peer.
+func (n *Node) SentBytes() (data, control float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, b := range n.data {
+		data += b
+	}
+	for _, b := range n.control {
+		control += b
+	}
+	return data, control
+}
+
+var _ pubsub.Fabric = (*Node)(nil)
