@@ -201,6 +201,27 @@ func BenchmarkFig11Prototype(b *testing.B) {
 	b.ReportMetric(float64(res.OpTime)/float64(res.CosmosTime), "opTime/cosmosTime")
 }
 
+// BenchmarkHierDistribute times one full hierarchical initial distribution
+// (upward coarsening + downward mapping) at CI scale — the per-coordinator
+// work whose sum Fig 6(b) reports as Hie.Total.
+func BenchmarkHierDistribute(b *testing.B) {
+	w := benchWorld(b)
+	wl, err := w.GenerateWorkload(400)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := hierarchy.Build(w.Oracle, w.Processors, nil, hierarchy.Config{K: 3, VMax: 40, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.Distribute(wl.Queries, wl.SubRates, wl.SourceOfSub); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkOnlineInsertThroughput measures the root coordinator's query
 // routing rate (§3.6; the paper reports >800k queries/sec on 2008 hardware
 // with its representation).

@@ -174,6 +174,12 @@ func Union(v, o *Vector) (*Vector, error) {
 	return c, nil
 }
 
+// Words exposes the raw word representation for read-only scans, letting
+// hot paths (the query-graph inverted indexes) iterate set bits without
+// iterator or closure overhead. The slice must not be modified; bit i lives
+// at words[i/64] bit (i%64).
+func (v *Vector) Words() []uint64 { return v.words }
+
 // Indices returns the positions of all set bits in ascending order.
 func (v *Vector) Indices() []int {
 	out := make([]int, 0, v.Count())
@@ -205,9 +211,19 @@ func (v *Vector) WeightedSum(weights []float64) float64 {
 // OverlapWeightedSum returns the sum of weights[i] over bits set in both v
 // and o — the shared data rate of two queries.
 func (v *Vector) OverlapWeightedSum(o *Vector, weights []float64) float64 {
-	n := min(len(v.words), len(o.words))
+	return v.OverlapWeightedSumRange(o, weights, 0, len(v.words))
+}
+
+// OverlapWeightedSumRange is OverlapWeightedSum restricted to the word
+// range [lo, hi). When the caller knows both vectors' set bits lie within
+// the range (e.g. tracked word spans), the result is identical — skipped
+// words contribute nothing — at a fraction of the scan cost.
+func (v *Vector) OverlapWeightedSumRange(o *Vector, weights []float64, lo, hi int) float64 {
+	if n := min(len(v.words), len(o.words)); hi > n {
+		hi = n
+	}
 	var s float64
-	for wi := 0; wi < n; wi++ {
+	for wi := lo; wi < hi; wi++ {
 		w := v.words[wi] & o.words[wi]
 		for w != 0 {
 			b := bits.TrailingZeros64(w)

@@ -126,8 +126,10 @@ func (t *Tree) descendCurrent(c *Coordinator, incoming []*querygraph.Vertex, use
 		if err != nil {
 			return err
 		}
+		// Edge weights depend on interests, rates, and result rates — not
+		// on the query loads refreshWeights updates — so the edges built
+		// by prepare stay valid.
 		t.refreshWeights(prep.g)
-		prep.g.ComputeEdges()
 
 		// Coarsen by interest (heavy-edge matching), as in the initial
 		// distribution: interest-grouped vertices are what lets the

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/mapping"
@@ -39,11 +41,39 @@ type assignFunc func(c *Coordinator, g *querygraph.Graph, m *mapping.Mapper) (ma
 
 func (t *Tree) distribute(queries []querygraph.QueryInfo, subRates []float64,
 	sourceOfSub []topology.NodeID, assignFn assignFunc) (*Report, error) {
-	if len(subRates) != len(sourceOfSub) {
-		return nil, fmt.Errorf("hierarchy: %d rates for %d substream sources", len(subRates), len(sourceOfSub))
+	if err := t.resetDistribution(queries, subRates, sourceOfSub); err != nil {
+		return nil, err
+	}
+
+	rootIncoming, err := t.upwardPass(queries, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Downward pass from the root. Sibling subtrees are independent, so
+	// the recursion fans out over bounded workers — except when an
+	// assignFn override is installed, whose closures (e.g. the shared RNG
+	// of DistributeRandom) require the sequential visit order.
+	var sem chan struct{}
+	if assignFn == nil && t.Cfg.Workers > 1 {
+		sem = make(chan struct{}, t.Cfg.Workers-1)
+	}
+	if err := t.descend(t.Root, rootIncoming, assignFn, sem); err != nil {
+		return nil, err
+	}
+	return t.timingReport(), nil
+}
+
+// resetDistribution installs the substream statistics and clears all
+// coordinator state for a fresh distribution pass.
+func (t *Tree) resetDistribution(queries []querygraph.QueryInfo, subRates []float64,
+	sourceOfSub []topology.NodeID) error {
+	space, err := querygraph.NewSpace(subRates, sourceOfSub)
+	if err != nil {
+		return fmt.Errorf("hierarchy: %w", err)
 	}
 	t.subRates = subRates
 	t.sourceOfSub = sourceOfSub
+	t.space = space
 	t.placement = make(map[string]topology.NodeID, len(queries))
 	t.queries = make(map[string]querygraph.QueryInfo, len(queries))
 	for _, c := range t.All {
@@ -52,16 +82,7 @@ func (t *Tree) distribute(queries []querygraph.QueryInfo, subRates []float64,
 		c.graph, c.ng, c.assign, c.loads = nil, nil, nil, nil
 		c.upTime, c.downTime = 0, 0
 	}
-
-	rootIncoming, err := t.upwardPass(queries, nil)
-	if err != nil {
-		return nil, err
-	}
-	// Downward pass from the root.
-	if err := t.descend(t.Root, rootIncoming, assignFn); err != nil {
-		return nil, err
-	}
-	return t.timingReport(), nil
+	return nil
 }
 
 // DistributeRandom builds the query-graph hierarchy normally but assigns
@@ -94,18 +115,8 @@ func (t *Tree) DistributeRandom(queries []querygraph.QueryInfo, subRates []float
 // coarsening step only merges vertices bound to the same target.
 func (t *Tree) DistributeWith(queries []querygraph.QueryInfo, subRates []float64,
 	sourceOfSub []topology.NodeID, placeAt func(q querygraph.QueryInfo) topology.NodeID) error {
-	if len(subRates) != len(sourceOfSub) {
-		return fmt.Errorf("hierarchy: %d rates for %d substream sources", len(subRates), len(sourceOfSub))
-	}
-	t.subRates = subRates
-	t.sourceOfSub = sourceOfSub
-	t.placement = make(map[string]topology.NodeID, len(queries))
-	t.queries = make(map[string]querygraph.QueryInfo, len(queries))
-	for _, c := range t.All {
-		c.expand = make(map[string][]*querygraph.Vertex)
-		c.keySeq = 0
-		c.graph, c.ng, c.assign, c.loads = nil, nil, nil, nil
-		c.upTime, c.downTime = 0, 0
+	if err := t.resetDistribution(queries, subRates, sourceOfSub); err != nil {
+		return err
 	}
 	for _, q := range queries {
 		proc := placeAt(q)
@@ -128,6 +139,12 @@ func (t *Tree) DistributeWith(queries []querygraph.QueryInfo, subRates []float64
 
 // upwardPass runs the bottom-up query-graph hierarchy construction (§3.4).
 // canMerge optionally constrains coarsening per coordinator.
+//
+// Coordinators of one level are independent (each works on its own
+// submissions with its own seeded RNG), so every level runs its graph
+// builds and coarsenings across bounded workers; results are appended to
+// the parents in the fixed coordinator order, making the outcome identical
+// to the sequential pass.
 func (t *Tree) upwardPass(queries []querygraph.QueryInfo,
 	canMerge func(c *Coordinator, u, v *querygraph.Vertex) bool) ([]*querygraph.Vertex, error) {
 	// Group queries by the leaf coordinator of their proxy.
@@ -149,17 +166,57 @@ func (t *Tree) upwardPass(queries []querygraph.QueryInfo,
 	}
 	byLevel := t.coordinatorsByLevel()
 	for level := 1; level < t.Root.Level; level++ {
-		for _, c := range byLevel[level] {
+		cs := byLevel[level]
+		outs := make([][]*querygraph.Vertex, len(cs))
+		errs := make([]error, len(cs))
+		t.forEachParallel(len(cs), func(i int) {
+			c := cs[i]
 			start := time.Now()
 			out, err := t.coarsenAndRegister(c, submissions[c], canMerge)
+			c.upTime = time.Since(start)
+			outs[i], errs[i] = out, err
+		})
+		for _, err := range errs {
 			if err != nil {
 				return nil, err
 			}
-			c.upTime = time.Since(start)
-			submissions[c.Parent] = append(submissions[c.Parent], out...)
+		}
+		for i, c := range cs {
+			submissions[c.Parent] = append(submissions[c.Parent], outs[i]...)
 		}
 	}
 	return submissions[t.Root], nil
+}
+
+// forEachParallel runs fn(0..n-1) across at most Cfg.Workers goroutines,
+// inline when parallelism is off.
+func (t *Tree) forEachParallel(n int, fn func(int)) {
+	workers := t.Cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func atomVertex(q querygraph.QueryInfo) *querygraph.Vertex {
@@ -260,13 +317,11 @@ func (t *Tree) prepare(c *Coordinator, incoming []*querygraph.Vertex) (*prepared
 	if err := t.ensureNG(c); err != nil {
 		return nil, err
 	}
-	g, err := querygraph.New(t.subRates, t.sourceOfSub)
-	if err != nil {
-		return nil, err
-	}
+	g := querygraph.NewOnSpace(t.space)
 	prep := &prepared{g: g}
 
 	referenced := make(map[topology.NodeID]bool)
+	seenSrc := make([]bool, t.space.NumSources())
 	for _, v := range incoming {
 		cv := v.Clone()
 		g.AddVertex(cv)
@@ -274,8 +329,11 @@ func (t *Tree) prepare(c *Coordinator, incoming []*querygraph.Vertex) (*prepared
 		for proxy := range cv.ResultRates {
 			referenced[proxy] = true
 		}
-		for _, src := range g.SourceNodes(cv.Interest) {
-			referenced[src] = true
+		t.space.MarkSources(cv.Interest, seenSrc)
+	}
+	for si, ok := range seenSrc {
+		if ok {
+			referenced[t.space.SourceNode(si)] = true
 		}
 	}
 
@@ -375,8 +433,10 @@ func (c *Coordinator) assignableCount() int {
 }
 
 // descend maps the incoming vertices at coordinator c and recurses into the
-// children with their uncoarsened shares (§3.5).
-func (t *Tree) descend(c *Coordinator, incoming []*querygraph.Vertex, assignFn assignFunc) error {
+// children with their uncoarsened shares (§3.5). With a non-nil sem, child
+// recursions fan out over goroutines bounded by the semaphore's capacity,
+// running inline when no slot is free.
+func (t *Tree) descend(c *Coordinator, incoming []*querygraph.Vertex, assignFn assignFunc, sem chan struct{}) error {
 	start := time.Now()
 
 	// Expand to this coordinator's working granularity.
@@ -426,6 +486,7 @@ func (t *Tree) descend(c *Coordinator, incoming []*querygraph.Vertex, assignFn a
 	c.downTime = time.Since(start)
 
 	if c.IsLeaf() {
+		t.placeMu.Lock()
 		for k, share := range shares {
 			proc := c.ng.Vertices[k].Node
 			for _, v := range share {
@@ -434,14 +495,47 @@ func (t *Tree) descend(c *Coordinator, incoming []*querygraph.Vertex, assignFn a
 				}
 			}
 		}
+		t.placeMu.Unlock()
 		return nil
 	}
+	if sem == nil {
+		for k, share := range shares {
+			if err := t.descend(c.Children[k], share, assignFn, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	record := func(err error) {
+		if err == nil {
+			return
+		}
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
 	for k, share := range shares {
-		if err := t.descend(c.Children[k], share, assignFn); err != nil {
-			return err
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func(k int, share []*querygraph.Vertex) {
+				defer wg.Done()
+				err := t.descend(c.Children[k], share, assignFn, sem)
+				<-sem
+				record(err)
+			}(k, share)
+		default:
+			// No free worker slot: recurse inline rather than blocking.
+			record(t.descend(c.Children[k], share, assignFn, sem))
 		}
 	}
-	return nil
+	wg.Wait()
+	return firstErr
 }
 
 // setState records the mapped graph as the coordinator's current state for

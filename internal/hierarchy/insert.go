@@ -59,25 +59,35 @@ func (t *Tree) RouteAtRoot(q querygraph.QueryInfo) (int, error) {
 // against the coordinator's current query vertices plus source and result
 // edges against the query's referenced nodes, each weighted by the latency
 // from the candidate target to the referenced vertex's current position.
+//
+// The WEC increase is assembled in two steps: every edge contribution is
+// first bucketed by the network-graph position it is anchored at (the
+// overlap weights come from the graph's inverted substream index, touching
+// only vertices that share a substream with q), and the per-target costs
+// are then |positions| dot products against hoisted latency rows — instead
+// of |Vq|·|targets| Latency() calls.
 func (t *Tree) routeAt(c *Coordinator, q querygraph.QueryInfo) (int, error) {
 	g, ng := c.graph, c.ng
 	n := c.assignableCount()
 	costs := make([]float64, n)
 
-	// Overlap edges to existing query vertices.
-	for vi, v := range g.Vertices {
-		if len(v.Queries) == 0 || v.Interest == nil || c.assign[vi] < 0 {
-			continue
+	wByPos := make([]float64, ng.Len())
+	touched := make([]int, 0, 16)
+	anchor := func(pos int, w float64) {
+		if wByPos[pos] == 0 && w != 0 {
+			touched = append(touched, pos)
 		}
-		w := q.Interest.OverlapWeightedSum(v.Interest, g.SubRates)
-		if w == 0 {
-			continue
-		}
-		pos := c.assign[vi]
-		for k := 0; k < n; k++ {
-			costs[k] += w * ng.Latency(k, pos)
-		}
+		wByPos[pos] += w
 	}
+
+	// Overlap edges to existing query vertices.
+	g.ForEachOverlap(q.Interest, func(vi int, w float64) {
+		v := g.Vertices[vi]
+		if len(v.Queries) == 0 || c.assign[vi] < 0 || w == 0 {
+			return
+		}
+		anchor(c.assign[vi], w)
+	})
 	// Source edges: demand per origin node of the query's substreams.
 	for _, idx := range q.Interest.Indices() {
 		rate := g.SubRates[idx]
@@ -89,15 +99,19 @@ func (t *Tree) routeAt(c *Coordinator, q querygraph.QueryInfo) (int, error) {
 		if !ok {
 			continue
 		}
-		for k := 0; k < n; k++ {
-			costs[k] += rate * ng.Latency(k, pin)
-		}
+		anchor(pin, rate)
 	}
 	// Result edge to the proxy.
 	if pin, _, ok := c.pinOf(q.Proxy); ok {
-		for k := 0; k < n; k++ {
-			costs[k] += q.ResultRate * ng.Latency(k, pin)
+		anchor(pin, q.ResultRate)
+	}
+	for k := 0; k < n; k++ {
+		row := ng.Row(k)
+		var cost float64
+		for _, pos := range touched {
+			cost += wByPos[pos] * row[pos]
 		}
+		costs[k] = cost
 	}
 
 	// Load feasibility under Eqn 3.1 with the query's load included.

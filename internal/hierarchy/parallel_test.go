@@ -1,0 +1,76 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestDistributeParallelDeterminism: the parallel upward pass and downward
+// descent must yield the exact placement of a fully sequential run, for
+// several tree seeds and worker counts.
+func TestDistributeParallelDeterminism(t *testing.T) {
+	oracle, procs, queries, rates, sources := testSetup(t)
+	for _, seed := range []uint64{1, 7, 23} {
+		var want map[string]topology.NodeID
+		for _, workers := range []int{1, 2, 8} {
+			tree, err := Build(oracle, procs, nil, Config{K: 3, VMax: 20, Seed: seed, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tree.Distribute(queries, rates, sources); err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			got := tree.Placement()
+			if workers == 1 {
+				want = got
+				if len(want) != len(queries) {
+					t.Fatalf("seed %d: placed %d of %d", seed, len(want), len(queries))
+				}
+				continue
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed %d workers %d: placed %d, sequential placed %d",
+					seed, workers, len(got), len(want))
+			}
+			for q, p := range want {
+				if got[q] != p {
+					t.Errorf("seed %d workers %d: query %s on %d, sequential on %d",
+						seed, workers, q, got[q], p)
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptParallelUpwardDeterminism: Adapt reuses the (parallel) upward
+// pass; adaptation rounds must land identical placements for any worker
+// count.
+func TestAdaptParallelUpwardDeterminism(t *testing.T) {
+	oracle, procs, queries, rates, sources := testSetup(t)
+	run := func(workers int) map[string]topology.NodeID {
+		tree, err := Build(oracle, procs, nil, Config{K: 3, VMax: 20, Seed: 5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tree.Distribute(queries, rates, sources); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			if _, err := tree.Adapt(nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tree.Placement()
+	}
+	want := run(1)
+	got := run(8)
+	if len(got) != len(want) {
+		t.Fatalf("placed %d vs %d", len(got), len(want))
+	}
+	for q, p := range want {
+		if got[q] != p {
+			t.Errorf("query %s on %d parallel, %d sequential", q, got[q], p)
+		}
+	}
+}

@@ -12,7 +12,9 @@ package hierarchy
 import (
 	"fmt"
 	"math/rand/v2"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/mapping"
@@ -33,6 +35,13 @@ type Config struct {
 	Alpha float64
 	// Seed drives all randomized choices deterministically.
 	Seed uint64
+	// Workers bounds the goroutines used to run independent coordinators
+	// concurrently during distribution (upward coarsening per level,
+	// downward descent per sibling subtree). 0 selects GOMAXPROCS; 1
+	// runs fully sequentially. Placements are identical for any value:
+	// every per-coordinator computation is seeded independently and
+	// results are combined in a fixed order.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -47,6 +56,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -114,8 +126,15 @@ type Tree struct {
 
 	subRates    []float64
 	sourceOfSub []topology.NodeID
+	// space is the shared substream index over (subRates, sourceOfSub),
+	// built once per distribution and reused by every per-coordinator
+	// query graph.
+	space *querygraph.Space
 
-	// placement maps query name -> processor node.
+	// placement maps query name -> processor node. placeMu guards it
+	// during the parallel downward descent, where sibling subtrees
+	// install leaf placements concurrently.
+	placeMu   sync.Mutex
 	placement map[string]topology.NodeID
 	queries   map[string]querygraph.QueryInfo
 

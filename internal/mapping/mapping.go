@@ -108,15 +108,16 @@ func WEC(qg *querygraph.Graph, ng *netgraph.Graph, a Assignment) float64 {
 		if ai == Unassigned {
 			continue
 		}
-		for j, w := range qg.Neighbors(i) {
-			if j <= i {
+		row := ng.Row(ai)
+		for _, e := range qg.Neighbors(i) {
+			if e.To <= i {
 				continue
 			}
-			aj := a[j]
+			aj := a[e.To]
 			if aj == Unassigned {
 				continue
 			}
-			total += w * ng.Latency(ai, aj)
+			total += e.W * row[aj]
 		}
 	}
 	return total
@@ -228,9 +229,10 @@ func (m *Mapper) Greedy() (Assignment, error) {
 // placed neighbors.
 func (m *Mapper) placedCost(a Assignment, vi, k int) float64 {
 	var cost float64
+	rowK := m.ng.Row(k)
 	for _, e := range m.adj[vi] {
 		if t := a[e.To]; t != Unassigned {
-			cost += e.W * m.ng.Latency(k, t)
+			cost += e.W * rowK[t]
 		}
 	}
 	return cost
@@ -238,14 +240,15 @@ func (m *Mapper) placedCost(a Assignment, vi, k int) float64 {
 
 // gain is the WEC reduction of remapping vi from its current target to k.
 func (m *Mapper) gain(a Assignment, vi, k int) float64 {
-	cur := a[vi]
 	var g float64
+	rowCur := m.ng.Row(a[vi])
+	rowK := m.ng.Row(k)
 	for _, e := range m.adj[vi] {
 		t := a[e.To]
 		if t == Unassigned {
 			continue
 		}
-		g += e.W * (m.ng.Latency(cur, t) - m.ng.Latency(k, t))
+		g += e.W * (rowCur[t] - rowK[t])
 	}
 	return g
 }
@@ -278,16 +281,43 @@ func moveOK(loads, caps []float64, w float64, from, to int) bool {
 	}
 	// Target would overflow; allowed only when it improves total
 	// violation (source currently overflows by more than target will).
-	before := math.Max(0, loads[from]-caps[from]) + math.Max(0, loads[to]-caps[to])
-	after := math.Max(0, loads[from]-w-caps[from]) + math.Max(0, loads[to]+w-caps[to])
+	before := pos(loads[from]-caps[from]) + pos(loads[to]-caps[to])
+	after := pos(loads[from]-w-caps[from]) + pos(loads[to]+w-caps[to])
 	return after < before
 }
 
-// refineExact is Algorithm 2 lines 2–20.
+// pos is max(0, x) without math.Max's NaN/signed-zero handling, which is
+// measurable overhead in the refinement inner loop.
+func pos(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+// refineExact is Algorithm 2 lines 2–20. Gains are cached per
+// (vertex, target): a move only changes the gains of the moved vertex's
+// neighbors (their endpoint position changed) — every other cached value
+// stays exact — so each step recomputes O(deg) gain rows instead of
+// rescanning every movable vertex's adjacency.
 func (m *Mapper) refineExact(a Assignment, movable []int) Assignment {
 	loads := Loads(m.qg, m.ng, a)
 	minWEC := WEC(m.qg, m.ng, a)
 	minA := a.Clone()
+
+	K := len(m.assignable)
+	slotOf := make(map[int]int, len(movable)) // vertex ID -> movable slot
+	for s, vi := range movable {
+		slotOf[vi] = s
+	}
+	gains := make([]float64, len(movable)*K)
+	// A cached gain is valid while its pair version matches its row
+	// version; bumping a row version invalidates the whole row in O(1).
+	rowVer := make([]int32, len(movable))
+	pairVer := make([]int32, len(movable)*K)
+	for s := range rowVer {
+		rowVer[s] = 1
+	}
 
 	for outer := 0; outer < m.opts.MaxOuter; outer++ {
 		a = minA.Clone()
@@ -295,24 +325,32 @@ func (m *Mapper) refineExact(a Assignment, movable []int) Assignment {
 		matched := make(map[int]bool, len(movable))
 		curWEC := WEC(m.qg, m.ng, a)
 		improvedOuter := false
+		for s := range rowVer {
+			rowVer[s]++
+		}
 
 		for {
 			maxGain := math.Inf(-1)
 			moveV, moveK := -1, -1
-			for _, vi := range movable {
+			for s, vi := range movable {
 				if matched[vi] {
 					continue
 				}
 				w := m.qg.Vertices[vi].Weight
 				from := a[vi]
-				for _, k := range m.assignable {
+				base := s * K
+				for ki, k := range m.assignable {
 					if k == from {
 						continue
 					}
 					if !moveOK(loads, m.caps, w, from, k) {
 						continue
 					}
-					if g := m.gain(a, vi, k); g > maxGain {
+					if pairVer[base+ki] != rowVer[s] {
+						gains[base+ki] = m.gain(a, vi, k)
+						pairVer[base+ki] = rowVer[s]
+					}
+					if g := gains[base+ki]; g > maxGain {
 						maxGain, moveV, moveK = g, vi, k
 					}
 				}
@@ -325,6 +363,11 @@ func (m *Mapper) refineExact(a Assignment, movable []int) Assignment {
 			loads[a[moveV]] -= w
 			loads[moveK] += w
 			a[moveV] = moveK
+			for _, e := range m.adj[moveV] {
+				if s, ok := slotOf[e.To]; ok {
+					rowVer[s]++
+				}
+			}
 			curWEC -= maxGain
 			if curWEC < minWEC-1e-12 {
 				minWEC = curWEC

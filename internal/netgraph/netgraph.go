@@ -2,6 +2,10 @@
 // paper's graph-mapping model (§3.1.2): a complete weighted graph whose
 // vertices are processors (or, at inner coordinators, child clusters) with
 // capability weights, and whose edge weights are communication latencies.
+//
+// The latency matrix is stored row-major in one flat []float64 so that the
+// mapping algorithms' inner loops can hoist a row once (Row) and index it
+// with plain slice arithmetic instead of chasing per-row pointers.
 package netgraph
 
 import (
@@ -27,7 +31,8 @@ type Vertex struct {
 // Graph is a complete network graph with an explicit latency matrix.
 type Graph struct {
 	Vertices []Vertex
-	lat      [][]float64
+	lat      []float64 // row-major n×n latency matrix
+	n        int
 	totalCap float64
 }
 
@@ -37,18 +42,20 @@ func New(vertices []Vertex, oracle *topology.Oracle) (*Graph, error) {
 	if len(vertices) == 0 {
 		return nil, fmt.Errorf("netgraph: no vertices")
 	}
+	n := len(vertices)
 	g := &Graph{
 		Vertices: append([]Vertex(nil), vertices...),
-		lat:      make([][]float64, len(vertices)),
+		lat:      make([]float64, n*n),
+		n:        n,
 	}
 	for i := range vertices {
-		g.lat[i] = make([]float64, len(vertices))
+		dst := g.lat[i*n : (i+1)*n]
 		row := oracle.Row(vertices[i].Node)
 		for j := range vertices {
 			if i == j {
 				continue
 			}
-			g.lat[i][j] = row[vertices[j].Node]
+			dst[j] = row[vertices[j].Node]
 		}
 		g.totalCap += vertices[i].Capability
 	}
@@ -64,22 +71,32 @@ func NewWithLatencies(vertices []Vertex, lat [][]float64) (*Graph, error) {
 	if len(lat) != len(vertices) {
 		return nil, fmt.Errorf("netgraph: latency matrix is %dx?, want %d rows", len(lat), len(vertices))
 	}
-	g := &Graph{Vertices: append([]Vertex(nil), vertices...), lat: make([][]float64, len(vertices))}
+	n := len(vertices)
+	g := &Graph{
+		Vertices: append([]Vertex(nil), vertices...),
+		lat:      make([]float64, n*n),
+		n:        n,
+	}
 	for i := range lat {
 		if len(lat[i]) != len(vertices) {
 			return nil, fmt.Errorf("netgraph: latency row %d has %d cols, want %d", i, len(lat[i]), len(vertices))
 		}
-		g.lat[i] = append([]float64(nil), lat[i]...)
+		copy(g.lat[i*n:(i+1)*n], lat[i])
 		g.totalCap += vertices[i].Capability
 	}
 	return g, nil
 }
 
 // Len returns the number of vertices.
-func (g *Graph) Len() int { return len(g.Vertices) }
+func (g *Graph) Len() int { return g.n }
 
 // Latency returns Wn(e_ij), the latency between vertices i and j.
-func (g *Graph) Latency(i, j int) float64 { return g.lat[i][j] }
+func (g *Graph) Latency(i, j int) float64 { return g.lat[i*g.n+j] }
+
+// Row returns the latency row from vertex i to every vertex: Row(i)[j] ==
+// Latency(i, j). The slice aliases the matrix; callers must not modify it.
+// Hot loops scanning many j for one i should hoist the row.
+func (g *Graph) Row(i int) []float64 { return g.lat[i*g.n : (i+1)*g.n] }
 
 // TotalCapability returns Σ Wn(v).
 func (g *Graph) TotalCapability() float64 { return g.totalCap }

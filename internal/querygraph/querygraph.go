@@ -14,10 +14,29 @@
 // per-substream rates, result-rate maps), which is what lets coarsening
 // re-estimate edges exactly and lets parents compute cross-subtree overlap
 // edges between coarse vertices submitted by different children.
+//
+// # Representation
+//
+// Adjacency is CSR-style: each vertex's edges are a []Adj run sorted by
+// neighbor ID, and ComputeEdges lays every run out over one shared backing
+// array. Incremental operations (ConnectVertex, coarsening's edge
+// re-estimation) patch individual runs in place, falling back to a private
+// allocation only when a run outgrows its span. The mapping algorithms
+// therefore iterate dense slices, never hash maps.
+//
+// Edge construction is index-driven: the graph maintains inverted indexes
+// from substream to interested vertices, from source node to the vertices
+// representing it, and from proxy node to the vertices sending results to
+// it. ComputeEdges and ConnectVertex enumerate only candidate pairs that
+// can have nonzero weight — pairs sharing a substream, a source, or a
+// proxy — instead of evaluating all O(|V|²) pairs. ComputeEdgesNaive
+// retains the literal all-pairs construction as the reference
+// implementation; the indexed path reproduces its weights bit-for-bit.
 package querygraph
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand/v2"
 	"sort"
 
@@ -86,6 +105,95 @@ type Vertex struct {
 	// Dirty marks vertices already picked for remapping in the current
 	// adaptation round (Algorithm 3).
 	Dirty bool
+
+	// scan caches the interest's set-bit indices when sparse, cutting
+	// pairwise overlap evaluation from a full word scan to O(popcount)
+	// bit tests. Built lazily on first edge estimation; Interest must
+	// not be mutated afterwards (graph construction never does — merged
+	// vertices get fresh Interest unions).
+	scan interestScan
+	// nscan caches per-node compact source indexes (see Graph.nodeSrcs).
+	nscan nodeScan
+}
+
+type nodeScan struct {
+	built bool
+	src   []int32
+}
+
+// sparseMax bounds the popcount up to which a vertex caches its interest
+// indices; denser interests use the word-parallel overlap scan.
+const sparseMax = 192
+
+type interestScan struct {
+	built bool
+	idx   []int32 // set-bit indices; nil when dense (or no interest)
+	// lo/hi bound the nonzero words of the interest, so dense overlap
+	// scans cover only the span intersection.
+	lo, hi int32
+}
+
+// ensureScan builds the cached scan info: the word span always, the set-bit
+// index list only when the interest is sparse.
+func (v *Vertex) ensureScan() *interestScan {
+	if !v.scan.built {
+		v.scan.built = true
+		if v.Interest != nil {
+			words := v.Interest.Words()
+			lo, hi := -1, 0
+			n := 0
+			for wi, w := range words {
+				if w != 0 {
+					if lo < 0 {
+						lo = wi
+					}
+					hi = wi + 1
+					n += bits.OnesCount64(w)
+				}
+			}
+			if lo < 0 {
+				lo = 0
+			}
+			v.scan.lo, v.scan.hi = int32(lo), int32(hi)
+			if n <= sparseMax {
+				idx := make([]int32, 0, n)
+				for wi := lo; wi < hi; wi++ {
+					w := words[wi]
+					for w != 0 {
+						idx = append(idx, int32(wi<<6+bits.TrailingZeros64(w)))
+						w &= w - 1
+					}
+				}
+				v.scan.idx = idx
+			}
+		}
+	}
+	return &v.scan
+}
+
+// sparseIdx returns the cached set-bit indices, or nil for dense interests.
+func (v *Vertex) sparseIdx() []int32 { return v.ensureScan().idx }
+
+// nodeSrcs returns, per entry of v.Nodes, the compact source index of that
+// node (or -1), cached on the vertex. It keeps demand evaluation free of
+// map lookups. Valid because a vertex only ever lives in graphs sharing one
+// substream space.
+func (g *Graph) nodeSrcs(v *Vertex) []int32 {
+	if !v.nscan.built {
+		v.nscan.built = true
+		if len(v.Nodes) > 0 {
+			arr := make([]int32, len(v.Nodes))
+			for i, node := range v.Nodes {
+				if si, ok := g.srcIdxOfNode[node]; ok {
+					arr[i] = si
+				} else {
+					arr[i] = -1
+				}
+			}
+			v.nscan.src = arr
+		}
+	}
+	return v.nscan.src
 }
 
 // Clone returns a copy of the vertex suitable for insertion into another
@@ -113,43 +221,191 @@ type Adj struct {
 	W  float64
 }
 
-// Graph is a query graph plus the stream statistics needed to (re)estimate
-// its edge weights.
-type Graph struct {
-	// SubRates is the per-substream rate vector (bytes/sec).
+// Space holds the substream statistics shared by every query graph of one
+// distribution task: per-substream rates and origins plus the derived
+// source-node indexes. Building it is O(#substreams); the coordinator
+// hierarchy builds it once and shares it across all per-coordinator graphs
+// (it is immutable apart from in-place SubRates perturbation, which the
+// graphs read live).
+type Space struct {
+	// SubRates is the per-substream rate vector (bytes/sec). The slice is
+	// retained, and callers may perturb rates in place between rounds.
 	SubRates []float64
 	// SourceOfSub maps each substream index to its origin node.
 	SourceOfSub []topology.NodeID
 
-	Vertices []*Vertex
-	adj      []map[int]float64
-
 	// subsByNode caches, per origin node, the substream indices it
-	// originates, as a bit vector for fast demand computation.
+	// originates, as a bit vector for fast demand computation;
+	// subsBySrc is the same data keyed by compact source index.
 	subsByNode map[topology.NodeID]*bitvec.Vector
+	subsBySrc  []*bitvec.Vector
+	// srcIdxOfSub maps a substream to the compact index of its origin in
+	// srcNodes; srcIdxOfNode is the node-keyed inverse.
+	srcIdxOfSub  []int32
+	srcNodes     []topology.NodeID
+	srcIdxOfNode map[topology.NodeID]int32
+}
+
+// NumSources returns the number of distinct source nodes.
+func (s *Space) NumSources() int { return len(s.srcNodes) }
+
+// SourceNode returns the node of compact source index si.
+func (s *Space) SourceNode(si int) topology.NodeID { return s.srcNodes[si] }
+
+// MarkSources sets seen[si] for every compact source index si whose node
+// originates a substream the interest is set on. seen must have length
+// NumSources; it accumulates across calls, letting callers collect the
+// referenced sources of many vertices without per-vertex allocations.
+func (s *Space) MarkSources(interest *bitvec.Vector, seen []bool) {
+	if interest == nil {
+		return
+	}
+	for wi, w := range interest.Words() {
+		for w != 0 {
+			b := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if b >= len(s.srcIdxOfSub) {
+				break
+			}
+			seen[s.srcIdxOfSub[b]] = true
+		}
+	}
+}
+
+// NewSpace indexes the substream statistics. SubRates and SourceOfSub must
+// have equal length; both slices are retained, not copied.
+func NewSpace(subRates []float64, sourceOfSub []topology.NodeID) (*Space, error) {
+	if len(subRates) != len(sourceOfSub) {
+		return nil, fmt.Errorf("querygraph: %d rates but %d substream sources",
+			len(subRates), len(sourceOfSub))
+	}
+	s := &Space{
+		SubRates:     subRates,
+		SourceOfSub:  sourceOfSub,
+		subsByNode:   make(map[topology.NodeID]*bitvec.Vector),
+		srcIdxOfSub:  make([]int32, len(sourceOfSub)),
+		srcIdxOfNode: make(map[topology.NodeID]int32),
+	}
+	for i, n := range sourceOfSub {
+		si, ok := s.srcIdxOfNode[n]
+		if !ok {
+			si = int32(len(s.srcNodes))
+			s.srcIdxOfNode[n] = si
+			s.srcNodes = append(s.srcNodes, n)
+			v := bitvec.New(len(sourceOfSub))
+			s.subsByNode[n] = v
+			s.subsBySrc = append(s.subsBySrc, v)
+		}
+		s.srcIdxOfSub[i] = si
+		s.subsByNode[n].Set(i)
+	}
+	return s, nil
+}
+
+// Graph is a query graph plus the stream statistics needed to (re)estimate
+// its edge weights.
+type Graph struct {
+	*Space
+
+	Vertices []*Vertex
+	// adj holds one sorted-by-To adjacency run per vertex. After
+	// ComputeEdges all runs alias one shared backing array (capped with
+	// three-index slices so in-place patches never bleed into a sibling
+	// run).
+	adj [][]Adj
+
+	idx *invIndex // lazily built inverted indexes; see ensureIndex
+	sc  *scratch  // reusable per-graph scratch for index traversals
+}
+
+// invIndex is the inverted-index bundle enabling candidate-pair enumeration.
+// It is valid while n == len(g.Vertices); any vertex addition invalidates it
+// and the next ensureIndex rebuilds. It stores vertex IDs only — edge
+// weights always read rates live — so in-place SubRates perturbation never
+// stales it.
+type invIndex struct {
+	n int
+
+	// interested: CSR substream -> IDs (ascending) of vertices whose
+	// Interest has the bit.
+	interestedOff []int32
+	interestedIDs []int32
+	// bySrc: CSR compact-source -> IDs of vertices interested in at least
+	// one substream of that source.
+	bySrcOff []int32
+	bySrcIDs []int32
+	// vertsOfSrc: compact-source -> IDs of vertices whose Nodes contain
+	// the source node (the source-node index).
+	vertsOfSrc [][]int32
+	// vertsOfNode: node -> IDs of vertices whose Nodes contain it; used
+	// to resolve result edges toward proxies (the proxy-node index, from
+	// the query side).
+	vertsOfNode map[topology.NodeID][]int32
+	// resultTo: node -> IDs of vertices whose ResultRates target it (the
+	// proxy-node index, from the node side).
+	resultTo map[topology.NodeID][]int32
+}
+
+// scratch bundles epoch-stamped work arrays so hot paths run allocation-
+// free. A Graph is not safe for concurrent use.
+type scratch struct {
+	epoch    int32
+	stamp    []int32   // per-vertex: candidate already collected this epoch
+	accMark  []int32   // per-vertex: acc[v] valid this epoch
+	acc      []float64 // per-vertex overlap-weight accumulator
+	srcStamp []int32   // per-source: source already expanded this epoch
+	cands    []int
+}
+
+func (g *Graph) scratchFor(nVerts int) *scratch {
+	if g.sc == nil {
+		g.sc = &scratch{}
+	}
+	sc := g.sc
+	if len(sc.stamp) < nVerts {
+		sc.stamp = make([]int32, nVerts)
+		sc.accMark = make([]int32, nVerts)
+		sc.acc = make([]float64, nVerts)
+	}
+	if len(sc.srcStamp) < len(g.srcNodes) {
+		sc.srcStamp = make([]int32, len(g.srcNodes))
+	}
+	sc.bump()
+	return sc
+}
+
+// bump starts a new stamp epoch. Stamps only ever hold positive epochs, so
+// when the int32 counter overflows (to negative, not zero) the arrays are
+// cleared and the epoch restarts at 1 — old stamps can never collide.
+func (sc *scratch) bump() {
+	sc.epoch++
+	if sc.epoch <= 0 {
+		for i := range sc.stamp {
+			sc.stamp[i], sc.accMark[i] = 0, 0
+		}
+		for i := range sc.srcStamp {
+			sc.srcStamp[i] = 0
+		}
+		sc.epoch = 1
+	}
 }
 
 // New returns an empty query graph over the given substream statistics.
 // SubRates and SourceOfSub must have equal length.
 func New(subRates []float64, sourceOfSub []topology.NodeID) (*Graph, error) {
-	if len(subRates) != len(sourceOfSub) {
-		return nil, fmt.Errorf("querygraph: %d rates but %d substream sources",
-			len(subRates), len(sourceOfSub))
+	s, err := NewSpace(subRates, sourceOfSub)
+	if err != nil {
+		return nil, err
 	}
-	g := &Graph{
-		SubRates:    subRates,
-		SourceOfSub: sourceOfSub,
-		subsByNode:  make(map[topology.NodeID]*bitvec.Vector),
-	}
-	for i, n := range sourceOfSub {
-		v, ok := g.subsByNode[n]
-		if !ok {
-			v = bitvec.New(len(sourceOfSub))
-			g.subsByNode[n] = v
-		}
-		v.Set(i)
-	}
-	return g, nil
+	return NewOnSpace(s), nil
+}
+
+// NewOnSpace returns an empty query graph sharing an existing substream
+// space, skipping the O(#substreams) space construction. The coordinator
+// hierarchy uses it to amortize one Space across every per-coordinator
+// graph of a distribution pass.
+func NewOnSpace(s *Space) *Graph {
+	return &Graph{Space: s}
 }
 
 // AddNVertex adds a pure n-vertex for a network node, pinned to network-
@@ -203,11 +459,51 @@ func (g *Graph) AddVertex(v *Vertex) *Vertex {
 func (g *Graph) EdgeWeight(u, v *Vertex) float64 {
 	var w float64
 	if u.Interest != nil && v.Interest != nil {
-		w += u.Interest.OverlapWeightedSum(v.Interest, g.SubRates)
+		w += g.overlapRate(u, v)
 	}
 	w += g.demand(u, v) + g.demand(v, u)
 	w += resultTo(u, v) + resultTo(v, u)
 	return w
+}
+
+// overlapRate is OverlapWeightedSum with an adaptive strategy: when either
+// interest is sparse, walk its cached indices and test the other side,
+// which beats the full word scan for atomic queries. Every strategy visits
+// the shared bits in the same ascending order, so the sums are identical
+// bit-for-bit.
+func (g *Graph) overlapRate(u, v *Vertex) float64 {
+	su, sv := u.ensureScan(), v.ensureScan()
+	lo, hi := su.lo, su.hi
+	if sv.lo > lo {
+		lo = sv.lo
+	}
+	if sv.hi < hi {
+		hi = sv.hi
+	}
+	if lo >= hi {
+		return 0
+	}
+	switch {
+	case su.idx != nil && (sv.idx == nil || len(su.idx) <= len(sv.idx)):
+		return sparseOverlap(su.idx, v.Interest, g.SubRates)
+	case sv.idx != nil:
+		return sparseOverlap(sv.idx, u.Interest, g.SubRates)
+	default:
+		return u.Interest.OverlapWeightedSumRange(v.Interest, g.SubRates, int(lo), int(hi))
+	}
+}
+
+// sparseOverlap sums rates over the indices whose bit is set in o —
+// ascending, matching OverlapWeightedSum's summation order exactly.
+func sparseOverlap(idx []int32, o *bitvec.Vector, rates []float64) float64 {
+	words := o.Words()
+	var s float64
+	for _, b := range idx {
+		if wi := int(b) >> 6; wi < len(words) && words[wi]&(1<<(uint(b)&63)) != 0 {
+			s += rates[b]
+		}
+	}
+	return s
 }
 
 func (g *Graph) demand(q, n *Vertex) float64 {
@@ -215,9 +511,16 @@ func (g *Graph) demand(q, n *Vertex) float64 {
 		return 0
 	}
 	var w float64
-	for _, node := range n.Nodes {
-		if subs, ok := g.subsByNode[node]; ok {
-			w += q.Interest.OverlapWeightedSum(subs, g.SubRates)
+	sq := q.ensureScan()
+	for _, si := range g.nodeSrcs(n) {
+		if si < 0 {
+			continue
+		}
+		subs := g.subsBySrc[si]
+		if sq.idx != nil {
+			w += sparseOverlap(sq.idx, subs, g.SubRates)
+		} else {
+			w += q.Interest.OverlapWeightedSumRange(subs, g.SubRates, int(sq.lo), int(sq.hi))
 		}
 	}
 	return w
@@ -234,14 +537,335 @@ func resultTo(q, n *Vertex) float64 {
 	return w
 }
 
+// ensureIndex (re)builds the inverted indexes when the vertex set changed
+// since the last build.
+func (g *Graph) ensureIndex() *invIndex {
+	if g.idx != nil && g.idx.n == len(g.Vertices) {
+		return g.idx
+	}
+	nSub := len(g.SubRates)
+	nSrc := len(g.srcNodes)
+	idx := &invIndex{
+		n:             len(g.Vertices),
+		interestedOff: make([]int32, nSub+1),
+		bySrcOff:      make([]int32, nSrc+1),
+		vertsOfSrc:    make([][]int32, nSrc),
+		vertsOfNode:   make(map[topology.NodeID][]int32),
+		resultTo:      make(map[topology.NodeID][]int32),
+	}
+	// Counting pass for the two CSR indexes. srcSeen de-duplicates a
+	// vertex's substreams per source; it doubles as the fill-pass stamp.
+	srcSeen := make([]int32, nSrc)
+	for i := range srcSeen {
+		srcSeen[i] = -1
+	}
+	countVertex := func(id int, v *Vertex) {
+		if v.Interest == nil {
+			return
+		}
+		for wi, w := range v.Interest.Words() {
+			for w != 0 {
+				s := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				if s >= nSub {
+					break
+				}
+				idx.interestedOff[s+1]++
+				if si := g.srcIdxOfSub[s]; srcSeen[si] != int32(id) {
+					srcSeen[si] = int32(id)
+					idx.bySrcOff[si+1]++
+				}
+			}
+		}
+	}
+	for id, v := range g.Vertices {
+		if v == nil {
+			continue
+		}
+		countVertex(id, v)
+		for _, node := range v.Nodes {
+			if si, ok := g.srcIdxOfNode[node]; ok {
+				idx.vertsOfSrc[si] = append(idx.vertsOfSrc[si], int32(id))
+			}
+			idx.vertsOfNode[node] = append(idx.vertsOfNode[node], int32(id))
+		}
+		for node := range v.ResultRates {
+			idx.resultTo[node] = append(idx.resultTo[node], int32(id))
+		}
+	}
+	for s := 0; s < nSub; s++ {
+		idx.interestedOff[s+1] += idx.interestedOff[s]
+	}
+	for s := 0; s < nSrc; s++ {
+		idx.bySrcOff[s+1] += idx.bySrcOff[s]
+	}
+	idx.interestedIDs = make([]int32, idx.interestedOff[nSub])
+	idx.bySrcIDs = make([]int32, idx.bySrcOff[nSrc])
+	subCur := make([]int32, nSub)
+	copy(subCur, idx.interestedOff[:nSub])
+	srcCur := make([]int32, nSrc)
+	copy(srcCur, idx.bySrcOff[:nSrc])
+	for i := range srcSeen {
+		srcSeen[i] = -1
+	}
+	// Fill pass in ascending vertex order, so every list is sorted.
+	for id, v := range g.Vertices {
+		if v == nil || v.Interest == nil {
+			continue
+		}
+		for wi, w := range v.Interest.Words() {
+			for w != 0 {
+				s := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				if s >= nSub {
+					break
+				}
+				idx.interestedIDs[subCur[s]] = int32(id)
+				subCur[s]++
+				if si := g.srcIdxOfSub[s]; srcSeen[si] != int32(id) {
+					srcSeen[si] = int32(id)
+					idx.bySrcIDs[srcCur[si]] = int32(id)
+					srcCur[si]++
+				}
+			}
+		}
+	}
+	g.idx = idx
+	return idx
+}
+
+func (idx *invIndex) interestedIn(s int) []int32 {
+	return idx.interestedIDs[idx.interestedOff[s]:idx.interestedOff[s+1]]
+}
+
+func (idx *invIndex) bySource(si int32) []int32 {
+	return idx.bySrcIDs[idx.bySrcOff[si]:idx.bySrcOff[si+1]]
+}
+
+// srcRates is the per-vertex cached weighted interest rate, broken down by
+// origin source: rate[i] is the total rate of vertex i's interest
+// substreams originating at src[i]. Each value equals
+// Interest.OverlapWeightedSum(subsByNode[source], SubRates) bit-for-bit, so
+// indexed demand-edge assembly reproduces the naive weights exactly while
+// computing every per-source rate of a vertex in one pass over its bits.
+type srcRates struct {
+	off  []int32
+	src  []int32
+	rate []float64
+}
+
+func (g *Graph) buildSrcRates() srcRates {
+	n := len(g.Vertices)
+	r := srcRates{off: make([]int32, n+1)}
+	nSrc := len(g.srcNodes)
+	seen := make([]int32, nSrc) // per-source slot in the current vertex run
+	for i := range seen {
+		seen[i] = -1
+	}
+	for id, v := range g.Vertices {
+		r.off[id] = int32(len(r.src))
+		if v == nil || v.Interest == nil {
+			continue
+		}
+		base := len(r.src)
+		for wi, w := range v.Interest.Words() {
+			for w != 0 {
+				s := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				if s >= len(g.SubRates) {
+					break
+				}
+				si := g.srcIdxOfSub[s]
+				if seen[si] < int32(base) {
+					seen[si] = int32(len(r.src))
+					r.src = append(r.src, si)
+					r.rate = append(r.rate, 0)
+				}
+				r.rate[seen[si]] += g.SubRates[s]
+			}
+		}
+	}
+	r.off[n] = int32(len(r.src))
+	return r
+}
+
+// demandOf sums vertex q's cached per-source rates over n's nodes, in node
+// order — exactly demand(q, n).
+func (g *Graph) demandOf(r *srcRates, q int, n *Vertex) float64 {
+	lo, hi := r.off[q], r.off[q+1]
+	if lo == hi || len(n.Nodes) == 0 {
+		return 0
+	}
+	var w float64
+	for _, node := range n.Nodes {
+		si, ok := g.srcIdxOfNode[node]
+		if !ok {
+			continue
+		}
+		for k := lo; k < hi; k++ {
+			if r.src[k] == si {
+				w += r.rate[k]
+				break
+			}
+		}
+	}
+	return w
+}
+
 // ComputeEdges materializes the full edge set from vertex content,
-// replacing any existing edges. Cost is O(|V|²) edge-weight evaluations.
+// replacing any existing edges. The inverted indexes restrict weight
+// evaluation to candidate pairs that share a substream, a source node, or a
+// proxy node; the result is identical (bit-for-bit) to ComputeEdgesNaive.
 func (g *Graph) ComputeEdges() {
+	g.idx = nil // vertex content may have changed wholesale; rebuild
+	idx := g.ensureIndex()
+	V := len(g.Vertices)
+	sc := g.scratchFor(V)
+	rates := g.buildSrcRates()
+
+	type edgeRec struct {
+		u, v int
+		w    float64
+	}
+	var edges []edgeRec
+	deg := make([]int32, V+1)
+
+	addCand := func(sc *scratch, u int, ids []int32, cands []int) []int {
+		for _, vv := range ids {
+			v := int(vv)
+			if v <= u {
+				continue
+			}
+			if sc.stamp[v] != sc.epoch {
+				sc.stamp[v] = sc.epoch
+				cands = append(cands, v)
+			}
+		}
+		return cands
+	}
+
+	for u := 0; u < V; u++ {
+		uv := g.Vertices[u]
+		if uv == nil {
+			continue
+		}
+		sc.bump()
+		cands := sc.cands[:0]
+
+		// Overlap accumulation: for every set bit s (ascending), credit
+		// rate_s to each later vertex sharing s. Per candidate this sums
+		// the shared rates in ascending substream order — exactly
+		// OverlapWeightedSum. The same bit walk expands the source-node
+		// index once per distinct source for demand candidates.
+		if uv.Interest != nil {
+			for wi, w := range uv.Interest.Words() {
+				for w != 0 {
+					s := wi<<6 + bits.TrailingZeros64(w)
+					w &= w - 1
+					if s >= len(g.SubRates) {
+						break
+					}
+					r := g.SubRates[s]
+					for _, vv := range idx.interestedIn(s) {
+						v := int(vv)
+						if v <= u {
+							continue
+						}
+						if sc.accMark[v] != sc.epoch {
+							sc.accMark[v] = sc.epoch
+							sc.acc[v] = 0
+							if sc.stamp[v] != sc.epoch {
+								sc.stamp[v] = sc.epoch
+								cands = append(cands, v)
+							}
+						}
+						sc.acc[v] += r
+					}
+					if si := g.srcIdxOfSub[s]; sc.srcStamp[si] != sc.epoch {
+						sc.srcStamp[si] = sc.epoch
+						cands = addCand(sc, u, idx.vertsOfSrc[si], cands)
+					}
+				}
+			}
+		}
+		// Result edges toward proxies this vertex reports to.
+		for node := range uv.ResultRates {
+			cands = addCand(sc, u, idx.vertsOfNode[node], cands)
+		}
+		// Node roles: vertices interested in substreams we originate, and
+		// vertices sending results to nodes we represent.
+		for _, node := range uv.Nodes {
+			if si, ok := g.srcIdxOfNode[node]; ok {
+				cands = addCand(sc, u, idx.bySource(si), cands)
+			}
+			cands = addCand(sc, u, idx.resultTo[node], cands)
+		}
+
+		// Ascending candidate order keeps every CSR run sorted as it is
+		// filled, so no per-run sort pass is needed.
+		sort.Ints(cands)
+		for _, v := range cands {
+			vv := g.Vertices[v]
+			if vv == nil {
+				continue
+			}
+			// Mirror EdgeWeight's term grouping exactly.
+			var w float64
+			if uv.Interest != nil && vv.Interest != nil && sc.accMark[v] == sc.epoch {
+				w += sc.acc[v]
+			}
+			w += g.demandOf(&rates, u, vv) + g.demandOf(&rates, v, uv)
+			w += resultTo(uv, vv) + resultTo(vv, uv)
+			if w > 0 {
+				edges = append(edges, edgeRec{u, v, w})
+				deg[u+1]++
+				deg[v+1]++
+			}
+		}
+		sc.cands = cands[:0]
+	}
+
+	// Lay the runs out over one shared backing array (CSR).
+	for i := 0; i < V; i++ {
+		deg[i+1] += deg[i]
+	}
+	pool := make([]Adj, deg[V])
+	cur := make([]int32, V)
+	copy(cur, deg[:V])
+	for _, e := range edges {
+		pool[cur[e.u]] = Adj{To: e.v, W: e.w}
+		cur[e.u]++
+		pool[cur[e.v]] = Adj{To: e.u, W: e.w}
+		cur[e.v]++
+	}
+	if len(g.adj) < V {
+		g.adj = make([][]Adj, V)
+	}
+	g.adj = g.adj[:V]
+	// Runs are sorted by construction: entries below i arrive in ascending
+	// u order, entries above i in ascending candidate order.
+	for i := 0; i < V; i++ {
+		g.adj[i] = pool[deg[i]:deg[i+1]:deg[i+1]]
+	}
+}
+
+// ComputeEdgesNaive is the literal O(|V|²) edge construction of the model —
+// every vertex pair gets one EdgeWeight evaluation. It is retained as the
+// reference implementation that the indexed ComputeEdges must match
+// bit-for-bit (see the package equivalence test); production paths use
+// ComputeEdges.
+func (g *Graph) ComputeEdgesNaive() {
 	for i := range g.adj {
 		g.adj[i] = nil
 	}
+	for len(g.adj) < len(g.Vertices) {
+		g.adj = append(g.adj, nil)
+	}
 	for i := 0; i < len(g.Vertices); i++ {
 		for j := i + 1; j < len(g.Vertices); j++ {
+			if g.Vertices[i] == nil || g.Vertices[j] == nil {
+				continue
+			}
 			w := g.EdgeWeight(g.Vertices[i], g.Vertices[j])
 			if w > 0 {
 				g.setEdge(i, j, w)
@@ -250,40 +874,172 @@ func (g *Graph) ComputeEdges() {
 	}
 }
 
+// setEdge installs (or updates) the undirected edge i–j, keeping both runs
+// sorted. Appends reuse a run's own span when possible and reallocate
+// privately when it is full, so shared-backing runs never overlap.
 func (g *Graph) setEdge(i, j int, w float64) {
-	if g.adj[i] == nil {
-		g.adj[i] = make(map[int]float64)
+	g.adj[i] = insertAdj(g.adj[i], j, w)
+	g.adj[j] = insertAdj(g.adj[j], i, w)
+}
+
+// searchAdj returns the insertion point of `to` in a sorted run — a
+// hand-rolled sort.Search that avoids the per-probe closure call.
+func searchAdj(run []Adj, to int) int {
+	lo, hi := 0, len(run)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if run[mid].To < to {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	if g.adj[j] == nil {
-		g.adj[j] = make(map[int]float64)
+	return lo
+}
+
+func insertAdj(run []Adj, to int, w float64) []Adj {
+	n := len(run)
+	// Fast path: strictly ascending insertion (bulk builds).
+	if n == 0 || run[n-1].To < to {
+		return append(run, Adj{To: to, W: w})
 	}
-	g.adj[i][j] = w
-	g.adj[j][i] = w
+	k := searchAdj(run, to)
+	if k < n && run[k].To == to {
+		run[k].W = w
+		return run
+	}
+	run = append(run, Adj{})
+	copy(run[k+1:], run[k:])
+	run[k] = Adj{To: to, W: w}
+	return run
+}
+
+// removeAdj deletes the entry for `to` from run, in place.
+func removeAdj(run []Adj, to int) []Adj {
+	k := searchAdj(run, to)
+	if k == len(run) || run[k].To != to {
+		return run
+	}
+	copy(run[k:], run[k+1:])
+	return run[:len(run)-1]
 }
 
 func (g *Graph) deleteVertexEdges(i int) {
-	for j := range g.adj[i] {
-		delete(g.adj[j], i)
+	for _, e := range g.adj[i] {
+		g.adj[e.To] = removeAdj(g.adj[e.To], i)
 	}
-	g.adj[i] = nil
+	g.adj[i] = g.adj[i][:0]
 }
 
-// Neighbors returns the adjacency map of vertex i; callers must not modify
-// it.
-func (g *Graph) Neighbors(i int) map[int]float64 { return g.adj[i] }
+// Neighbors returns vertex i's adjacency run, sorted by neighbor ID.
+// Callers must not modify it, and must not retain it across graph
+// mutations.
+func (g *Graph) Neighbors(i int) []Adj { return g.adj[i] }
+
+// Weight returns the weight of edge i–j, if present.
+func (g *Graph) Weight(i, j int) (float64, bool) {
+	run := g.adj[i]
+	k := searchAdj(run, j)
+	if k < len(run) && run[k].To == j {
+		return run[k].W, true
+	}
+	return 0, false
+}
+
+// Degree returns the number of edges incident to vertex i.
+func (g *Graph) Degree(i int) int { return len(g.adj[i]) }
 
 // ConnectVertex computes and installs the edges between vertex v (already
 // added to the graph) and every other vertex — the incremental step of
-// online query insertion (§3.6). Cost is O(|V|) edge evaluations.
+// online query insertion (§3.6). The inverted indexes restrict evaluation
+// to candidates sharing a substream, source, or proxy with v.
 func (g *Graph) ConnectVertex(v *Vertex) {
-	for j, o := range g.Vertices {
-		if j == v.ID || o == nil {
+	idx := g.ensureIndex()
+	sc := g.scratchFor(len(g.Vertices))
+	sc.stamp[v.ID] = sc.epoch // exclude self
+	cands := sc.cands[:0]
+	add := func(ids []int32) {
+		for _, jj := range ids {
+			j := int(jj)
+			if sc.stamp[j] != sc.epoch {
+				sc.stamp[j] = sc.epoch
+				cands = append(cands, j)
+			}
+		}
+	}
+	if v.Interest != nil {
+		for wi, w := range v.Interest.Words() {
+			for w != 0 {
+				s := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				if s >= len(g.SubRates) {
+					break
+				}
+				add(idx.interestedIn(s))
+				if si := g.srcIdxOfSub[s]; sc.srcStamp[si] != sc.epoch {
+					sc.srcStamp[si] = sc.epoch
+					add(idx.vertsOfSrc[si])
+				}
+			}
+		}
+	}
+	for node := range v.ResultRates {
+		add(idx.vertsOfNode[node])
+	}
+	for _, node := range v.Nodes {
+		if si, ok := g.srcIdxOfNode[node]; ok {
+			add(idx.bySource(si))
+		}
+		add(idx.resultTo[node])
+	}
+	sort.Ints(cands)
+	for _, j := range cands {
+		o := g.Vertices[j]
+		if o == nil {
 			continue
 		}
 		if w := g.EdgeWeight(v, o); w > 0 {
 			g.setEdge(v.ID, j, w)
 		}
 	}
+	sc.cands = cands[:0]
+}
+
+// ForEachOverlap visits every vertex whose Interest shares at least one
+// substream with iv, passing the shared weighted rate (the overlap-edge
+// weight a query with interest iv would have toward that vertex). It is the
+// online-routing primitive: cost is proportional to the index postings
+// touched, not to |V|.
+func (g *Graph) ForEachOverlap(iv *bitvec.Vector, fn func(vertex int, w float64)) {
+	if iv == nil {
+		return
+	}
+	idx := g.ensureIndex()
+	sc := g.scratchFor(len(g.Vertices))
+	touched := sc.cands[:0]
+	for wi, w := range iv.Words() {
+		for w != 0 {
+			s := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if s >= len(g.SubRates) {
+				break
+			}
+			r := g.SubRates[s]
+			for _, vv := range idx.interestedIn(s) {
+				v := int(vv)
+				if sc.accMark[v] != sc.epoch {
+					sc.accMark[v] = sc.epoch
+					sc.acc[v] = 0
+					touched = append(touched, v)
+				}
+				sc.acc[v] += r
+			}
+		}
+	}
+	for _, v := range touched {
+		fn(v, sc.acc[v])
+	}
+	sc.cands = touched[:0]
 }
 
 // RemoveVertexEdges detaches vertex i from all neighbors (used when a
@@ -294,16 +1050,20 @@ func (g *Graph) RemoveVertexEdges(i int) { g.deleteVertexEdges(i) }
 // result edges — the ablation of the paper's communication-sharing model
 // component (Table 2's scheme-2-versus-scheme-3 distinction).
 func (g *Graph) DropOverlapEdges() {
+	// A q-q edge has two non-N endpoints, so filtering every non-N run of
+	// its non-N entries removes both directions.
 	for i, u := range g.Vertices {
-		if u.IsN() {
+		if u == nil || u.IsN() {
 			continue
 		}
-		for j := range g.adj[i] {
-			if v := g.Vertices[j]; v != nil && !v.IsN() {
-				delete(g.adj[i], j)
-				delete(g.adj[j], i)
+		run := g.adj[i]
+		kept := run[:0]
+		for _, e := range run {
+			if v := g.Vertices[e.To]; v != nil && v.IsN() {
+				kept = append(kept, e)
 			}
 		}
+		g.adj[i] = kept
 	}
 }
 
@@ -313,38 +1073,35 @@ func (g *Graph) SourceNodes(interest *bitvec.Vector) []topology.NodeID {
 	if interest == nil {
 		return nil
 	}
-	seen := make(map[topology.NodeID]bool)
+	seen := make([]bool, len(g.srcNodes))
 	var out []topology.NodeID
-	for _, idx := range interest.Indices() {
-		n := g.SourceOfSub[idx]
-		if !seen[n] {
-			seen[n] = true
-			out = append(out, n)
+	for wi, w := range interest.Words() {
+		for w != 0 {
+			s := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if s >= len(g.SourceOfSub) {
+				break
+			}
+			if si := g.srcIdxOfSub[s]; !seen[si] {
+				seen[si] = true
+				out = append(out, g.srcNodes[si])
+			}
 		}
 	}
 	return out
 }
 
-// AdjacencyLists returns dense adjacency slices sorted by neighbor ID,
-// suitable for the mapping algorithms.
-func (g *Graph) AdjacencyLists() [][]Adj {
-	out := make([][]Adj, len(g.Vertices))
-	for i, m := range g.adj {
-		lst := make([]Adj, 0, len(m))
-		for j, w := range m {
-			lst = append(lst, Adj{To: j, W: w})
-		}
-		sort.Slice(lst, func(a, b int) bool { return lst[a].To < lst[b].To })
-		out[i] = lst
-	}
-	return out
-}
+// AdjacencyLists returns the dense adjacency runs, sorted by neighbor ID,
+// suitable for the mapping algorithms. The returned slices alias the
+// graph's own representation: callers must treat them as read-only and must
+// not retain them across graph mutations.
+func (g *Graph) AdjacencyLists() [][]Adj { return g.adj }
 
 // EdgeCount returns the number of (undirected) edges.
 func (g *Graph) EdgeCount() int {
 	n := 0
-	for _, m := range g.adj {
-		n += len(m)
+	for _, run := range g.adj {
+		n += len(run)
 	}
 	return n / 2
 }
@@ -353,7 +1110,9 @@ func (g *Graph) EdgeCount() int {
 func (g *Graph) TotalQueryLoad() float64 {
 	var s float64
 	for _, v := range g.Vertices {
-		s += v.Weight
+		if v != nil {
+			s += v.Weight
+		}
 	}
 	return s
 }
@@ -473,6 +1232,14 @@ func (g *Graph) Coarsen(opts CoarsenOptions) *CoarsenResult {
 		live := count(cur)
 		// redirect[old] = merged-into index within cur's ID space.
 		redirect := make(map[int]int)
+		// mergedFrom[ui] = the slot merged into ui this round. Edges of
+		// merged vertices are NOT re-estimated here: a merged vertex is
+		// matched, so nothing reads its edges for the rest of the round —
+		// re-estimation (Algorithm 1 line 11) is deferred to the
+		// round-end compact, which computes each merged edge exactly
+		// once. Rows therefore stay untouched all round; stale entries
+		// toward merged slots are skipped by the matched/nil checks.
+		mergedFrom := make(map[int]int)
 
 		for _, ui := range order {
 			if live <= opts.VMax {
@@ -485,7 +1252,8 @@ func (g *Graph) Coarsen(opts CoarsenOptions) *CoarsenResult {
 			// A ← adj(u) − matched(adj(u)), with the n-vertex
 			// cluster restriction of Algorithm 1 line 6.
 			best, bestW := -1, 0.0
-			for vi, w := range cur.adj[ui] {
+			for _, e := range cur.adj[ui] {
+				vi, w := e.To, e.W
 				if matched[vi] || cur.Vertices[vi] == nil {
 					continue
 				}
@@ -527,26 +1295,8 @@ func (g *Graph) Coarsen(opts CoarsenOptions) *CoarsenResult {
 			cur.Vertices[ui] = merged
 			cur.Vertices[best] = nil
 			matched[ui] = true
-
-			// Re-estimate edges of the merged vertex (line 11).
-			neighbors := make(map[int]bool, len(cur.adj[ui])+len(cur.adj[best]))
-			for j := range cur.adj[ui] {
-				neighbors[j] = true
-			}
-			for j := range cur.adj[best] {
-				neighbors[j] = true
-			}
-			cur.deleteVertexEdges(ui)
-			cur.deleteVertexEdges(best)
-			for j := range neighbors {
-				if j == ui || j == best || cur.Vertices[j] == nil {
-					continue
-				}
-				if w := cur.EdgeWeight(merged, cur.Vertices[j]); w > 0 {
-					cur.setEdge(ui, j, w)
-				}
-			}
 			redirect[best] = ui
+			mergedFrom[ui] = best
 			// A merge reduces the counted vertex set only when both
 			// halves were counted (both query-bearing in q-only
 			// mode).
@@ -558,8 +1308,8 @@ func (g *Graph) Coarsen(opts CoarsenOptions) *CoarsenResult {
 		if merges == 0 {
 			break // nothing mergeable (all blocked by constraints)
 		}
-		// Compact: drop nil slots and rebuild IDs.
-		cur, fineToCur = compact(cur, fineToCur, redirect)
+		// Compact: drop nil slots, rebuild IDs, re-estimate merged edges.
+		cur, fineToCur = compact(cur, fineToCur, redirect, mergedFrom)
 	}
 
 	res := &CoarsenResult{
@@ -573,72 +1323,144 @@ func (g *Graph) Coarsen(opts CoarsenOptions) *CoarsenResult {
 	return res
 }
 
+// mergeNeighborIDs returns the sorted union of the neighbor IDs of two
+// sorted adjacency runs.
+func mergeNeighborIDs(a, b []Adj) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].To < b[j].To:
+			out = append(out, a[i].To)
+			i++
+		case a[i].To > b[j].To:
+			out = append(out, b[j].To)
+			j++
+		default:
+			out = append(out, a[i].To)
+			i++
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		out = append(out, a[i].To)
+	}
+	for ; j < len(b); j++ {
+		out = append(out, b[j].To)
+	}
+	return out
+}
+
 // cloneShallow copies graph structure (vertices are shared pointers for
-// unmerged vertices; merged ones are fresh).
+// unmerged vertices; merged ones are fresh). Adjacency runs are shared with
+// the receiver: coarsening rounds never patch rows in place — merged-vertex
+// edges are rebuilt by compact into a fresh graph.
 func (g *Graph) cloneShallow() *Graph {
 	c := &Graph{
-		SubRates:    g.SubRates,
-		SourceOfSub: g.SourceOfSub,
-		subsByNode:  g.subsByNode,
-		Vertices:    make([]*Vertex, len(g.Vertices)),
-		adj:         make([]map[int]float64, len(g.Vertices)),
+		Space:    g.Space,
+		Vertices: make([]*Vertex, len(g.Vertices)),
+		adj:      make([][]Adj, len(g.Vertices)),
 	}
 	copy(c.Vertices, g.Vertices)
-	for i, m := range g.adj {
-		if len(m) == 0 {
-			continue
-		}
-		c.adj[i] = make(map[int]float64, len(m))
-		for j, w := range m {
-			c.adj[i][j] = w
-		}
-	}
+	copy(c.adj, g.adj)
 	return c
 }
 
-func compact(cur *Graph, fineToCur []int, redirect map[int]int) (*Graph, []int) {
-	resolve := func(i int) int {
-		for {
-			j, ok := redirect[i]
-			if !ok {
-				return i
-			}
-			i = j
+// compact builds the next-round graph: nil slots dropped, IDs renumbered,
+// edges among untouched vertices copied verbatim, and every edge incident
+// to a vertex merged this round re-estimated from content (Algorithm 1
+// line 11) — exactly once per edge, with the merged-merged direction fixed
+// by slot order (EdgeWeight is symmetric bit-for-bit).
+func compact(cur *Graph, fineToCur []int, redirect map[int]int, mergedFrom map[int]int) (*Graph, []int) {
+	n := len(cur.Vertices)
+	// Flatten the maps into slot-indexed arrays: the copy loop below does
+	// per-edge lookups, where map hashing dominates.
+	target := make([]int32, n) // slot -> round-end slot (redirect resolved)
+	newID := make([]int32, n)  // slot -> compacted ID (-1 for dropped)
+	partner := make([]int32, n)
+	for i := range target {
+		target[i] = int32(i)
+		newID[i] = -1
+		partner[i] = -1
+	}
+	for from, to := range redirect {
+		target[from] = int32(to)
+	}
+	for i := range target {
+		for target[i] != target[target[i]] {
+			target[i] = target[target[i]]
 		}
 	}
-	newID := make(map[int]int, len(cur.Vertices))
-	out := &Graph{
-		SubRates:    cur.SubRates,
-		SourceOfSub: cur.SourceOfSub,
-		subsByNode:  cur.subsByNode,
+	for ui, best := range mergedFrom {
+		partner[ui] = int32(best)
 	}
+
+	out := &Graph{Space: cur.Space}
 	for i, v := range cur.Vertices {
 		if v == nil {
 			continue
 		}
-		newID[i] = len(out.Vertices)
+		newID[i] = int32(len(out.Vertices))
 		v.ID = len(out.Vertices)
 		out.Vertices = append(out.Vertices, v)
 		out.adj = append(out.adj, nil)
 	}
-	for i, m := range cur.adj {
-		if cur.Vertices[i] == nil {
+	// Edges among untouched pairs carry over unchanged.
+	for i, run := range cur.adj {
+		if cur.Vertices[i] == nil || partner[i] >= 0 {
 			continue
 		}
 		ni := newID[i]
-		for j, w := range m {
-			if cur.Vertices[j] == nil {
+		for _, e := range run {
+			if cur.Vertices[e.To] == nil || partner[e.To] >= 0 {
 				continue
 			}
-			nj := newID[j]
+			nj := newID[e.To]
 			if ni < nj {
+				out.setEdge(int(ni), int(nj), e.W)
+			}
+		}
+	}
+	// Re-estimate the edges of this round's merged vertices (Algorithm 1
+	// line 11, deferred from merge time). A merged vertex's candidate
+	// neighbors are the union of its two constituents' round-start rows;
+	// merging only adds content, so no edge can vanish or appear outside
+	// that union.
+	for ui := 0; ui < n; ui++ {
+		best := partner[ui]
+		if best < 0 {
+			continue
+		}
+		m := cur.Vertices[ui]
+		for _, j := range mergeNeighborIDs(cur.adj[ui], cur.adj[best]) {
+			if j == ui || j == int(best) {
+				continue
+			}
+			tj := int(target[j])
+			o := cur.Vertices[tj]
+			if o == nil || tj == ui {
+				continue
+			}
+			// Both endpoints merged this round: compute the pair once,
+			// from the lower slot (each side's union contains the
+			// other by symmetry of adjacency).
+			if partner[tj] >= 0 && tj < ui {
+				continue
+			}
+			ni, nj := int(newID[ui]), int(newID[tj])
+			// Both of m's constituents may neighbor constituents of
+			// tj; the probe skips the second visit.
+			if _, done := out.Weight(ni, nj); done {
+				continue
+			}
+			if w := cur.EdgeWeight(m, o); w > 0 {
 				out.setEdge(ni, nj, w)
 			}
 		}
 	}
 	next := make([]int, len(fineToCur))
 	for f, c := range fineToCur {
-		next[f] = newID[resolve(c)]
+		next[f] = int(newID[target[c]])
 	}
 	return out, next
 }

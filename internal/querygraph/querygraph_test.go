@@ -49,19 +49,19 @@ func TestEdgeWeights(t *testing.T) {
 	g.ComputeEdges()
 
 	// q1-q2 overlap: substream 1 (rate 2).
-	if w := g.Neighbors(q1.ID)[q2.ID]; w != 2 {
+	if w, _ := g.Weight(q1.ID, q2.ID); w != 2 {
 		t.Errorf("overlap edge = %v, want 2", w)
 	}
 	// q1-srcX demand: substreams 0,1 -> 4.
-	if w := g.Neighbors(q1.ID)[nx.ID]; w != 4 {
+	if w, _ := g.Weight(q1.ID, nx.ID); w != 4 {
 		t.Errorf("source edge = %v, want 4", w)
 	}
 	// q1-nodeA result edge: 1.
-	if w := g.Neighbors(q1.ID)[na.ID]; w != 1 {
+	if w, _ := g.Weight(q1.ID, na.ID); w != 1 {
 		t.Errorf("result edge = %v, want 1", w)
 	}
 	// No n-n edge.
-	if _, ok := g.Neighbors(nx.ID)[na.ID]; ok {
+	if _, ok := g.Weight(nx.ID, na.ID); ok {
 		t.Error("unexpected n-n edge")
 	}
 }
@@ -72,7 +72,7 @@ func TestSourceAndProxySameNode(t *testing.T) {
 	q := g.AddQVertex(qinfo("q", srcX, []int{0}, 0.1))
 	n := g.AddNVertex(srcX, 0, true)
 	g.ComputeEdges()
-	if w := g.Neighbors(q.ID)[n.ID]; w != 2+1 {
+	if w, _ := g.Weight(q.ID, n.ID); w != 2+1 {
 		t.Errorf("combined edge = %v, want 3 (demand 2 + result 1)", w)
 	}
 }
@@ -92,9 +92,9 @@ func TestConnectVertexMatchesComputeEdges(t *testing.T) {
 	g2.ComputeEdges()
 
 	for i := range g.Vertices {
-		for j, w := range g.Neighbors(i) {
-			if g2.Neighbors(i)[j] != w {
-				t.Errorf("edge (%d,%d) = %v incrementally, %v from scratch", i, j, w, g2.Neighbors(i)[j])
+		for _, e := range g.Neighbors(i) {
+			if w2, ok := g2.Weight(i, e.To); !ok || w2 != e.W {
+				t.Errorf("edge (%d,%d) = %v incrementally, %v from scratch", i, e.To, e.W, w2)
 			}
 		}
 		if len(g.Neighbors(i)) != len(g2.Neighbors(i)) {
