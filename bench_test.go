@@ -14,8 +14,11 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/metrics"
 	"repro/internal/prototype"
+	"repro/internal/pubsub"
+	"repro/internal/query"
 	"repro/internal/querygraph"
 	"repro/internal/sim"
+	"repro/internal/stream"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -247,6 +250,93 @@ func BenchmarkOnlineInsertThroughput(b *testing.B) {
 		if _, err := tree.RouteAtRoot(probes[i%len(probes)]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBrokerRoute measures broker-side matching throughput — the
+// Pub/Sub hot path every routed tuple pays. A publisher broker forwards to a
+// neighbor holding N recorded subscriptions, which then matches the tuple
+// against its N local client subscriptions, so each operation pays two full
+// matching passes. Subscriptions spread over 64 streams with pairwise
+// non-covering interval filters; "indexed" uses the inverted matching index,
+// "linear" the retained reference matcher (the pre-index baseline).
+func BenchmarkBrokerRoute(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		for _, mode := range []struct {
+			name   string
+			linear bool
+		}{{"indexed", false}, {"linear", true}} {
+			b.Run(fmt.Sprintf("%s-%d", mode.name, n), func(b *testing.B) {
+				benchBrokerRoute(b, n, mode.linear)
+			})
+		}
+	}
+}
+
+func benchBrokerRoute(b *testing.B, nSubs int, linear bool) {
+	g := topology.NewGraph(2)
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		b.Fatal(err)
+	}
+	net, err := pubsub.NewNetwork(topology.NewOracle(g), []topology.NodeID{0, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, _ := net.Broker(0)
+	dst, _ := net.Broker(1)
+	const streams = 64
+	streamName := func(s int) string { return fmt.Sprintf("S%02d", s) }
+	for s := 0; s < streams; s++ {
+		src.Advertise(streamName(s))
+	}
+	mkFilter := func(attr string, op query.Op, v float64) query.Predicate {
+		lit := stream.FloatVal(v)
+		return query.Predicate{
+			Left:  query.Operand{Col: &query.ColRef{Attr: attr}},
+			Op:    op,
+			Right: query.Operand{Lit: &lit},
+		}
+	}
+	delivered := 0
+	for i := 0; i < nSubs; i++ {
+		// Per stream, strictly increasing half-open windows [k, k+2): no
+		// subscription covers another, so all N propagate and stay
+		// recorded at the publisher.
+		k := float64(i / streams)
+		sub := &pubsub.Subscription{
+			ID:      fmt.Sprintf("s%d", i),
+			Streams: []string{streamName(i % streams)},
+			Filters: []query.Predicate{
+				mkFilter("a", query.Ge, k),
+				mkFilter("a", query.Lt, k+2),
+			},
+		}
+		if i%2 == 0 {
+			sub.Attrs = []string{"a", "b"}
+		}
+		if err := dst.Subscribe(sub, func(*pubsub.Subscription, stream.Tuple) { delivered++ }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if linear {
+		net.SetLinearMatching(true)
+	}
+	windows := nSubs/streams + 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := stream.Tuple{
+			Stream: streamName(i % streams),
+			Attrs: map[string]stream.Value{
+				"a": stream.FloatVal(float64(i % windows)),
+				"b": stream.FloatVal(1),
+			},
+			Size: 32,
+		}
+		src.Publish(t)
+	}
+	b.StopTimer()
+	if delivered == 0 {
+		b.Fatal("no deliveries: benchmark not exercising the match path")
 	}
 }
 

@@ -56,6 +56,11 @@ type Config struct {
 	// DisableResultSharing turns off §2.1 superset-query merging
 	// (used by the sharing ablation).
 	DisableResultSharing bool
+	// LinearMatch routes with the brokers' linear reference matcher
+	// instead of the inverted matching index (used by the matching-index
+	// ablation; forwarding decisions and traffic are identical either
+	// way, only matching throughput differs).
+	LinearMatch bool
 }
 
 // StreamDef declares a source stream.
@@ -303,6 +308,9 @@ func (m *Middleware) Start() error {
 	net, err := pubsub.NewNetwork(m.oracle, nodes)
 	if err != nil {
 		return err
+	}
+	if m.cfg.LinearMatch {
+		net.SetLinearMatching(true)
 	}
 	m.net = net
 	// Sources advertise their streams; processors advertise the result

@@ -51,6 +51,13 @@ var _ Peer = (*Broker)(nil)
 type localSub struct {
 	sub     *Subscription
 	handler Handler
+	// sentTo records the neighbors this subscription was actually
+	// propagated to. Covering suppression of a later local subscription
+	// toward neighbor n is sound only when the covering one was sent to n
+	// — a local subscription registered before the relevant adverts
+	// arrived was sent nowhere and must not suppress anything. The map is
+	// shared with the compiled index entry and mutated under Broker.mu.
+	sentTo map[topology.NodeID]bool
 }
 
 // Broker is one overlay node of the Pub/Sub network. Brokers are wired into
@@ -72,6 +79,18 @@ type Broker struct {
 	locals    []localSub
 	// published advertisements by this broker's clients.
 	ownAdverts map[string]bool
+
+	// idx mirrors subs and locals as the matching/forwarding index (see
+	// index.go); it is maintained incrementally under mu.
+	idx *matchIndex
+	// linearMatch routes and suppresses with the retained linear
+	// reference matcher instead of the index. The two are equivalent
+	// bit-for-bit (equivalence tests); the linear path is the reference
+	// implementation and the pre-index benchmark baseline.
+	linearMatch bool
+	// matchScratch collects per-neighbor matched candidates under mu,
+	// avoiding a per-tuple allocation on the indexed path.
+	matchScratch []*compiledSub
 }
 
 // NewBroker creates a broker wired to a fabric. Neighbors are added with
@@ -83,18 +102,37 @@ func NewBroker(net Fabric, node topology.NodeID) *Broker {
 		adverts:    make(map[topology.NodeID]map[string]bool),
 		subs:       make(map[topology.NodeID][]*Subscription),
 		ownAdverts: make(map[string]bool),
+		idx:        newMatchIndex(),
 	}
+}
+
+// SetLinearMatching switches the broker between the inverted matching index
+// and the retained linear reference matcher. Both produce identical
+// forwarding decisions, deliveries and traffic; the linear path exists as
+// the reference implementation and baseline for benchmarks.
+func (b *Broker) SetLinearMatching(on bool) {
+	b.mu.Lock()
+	b.linearMatch = on
+	b.mu.Unlock()
 }
 
 // Advertise announces that this broker's clients will publish the given
 // stream. The advertisement floods the overlay so every broker learns the
 // direction toward the publisher.
+//
+// Advert traffic is accounted at the SEND side, like subscription
+// propagation and data forwarding: every advert that crosses a link is
+// charged by its sender, including re-advertisements the receiver will
+// duplicate-suppress. (The accounting used to live at the receive side,
+// charged only for streams the receiver had not seen, so suppressed adverts
+// that still crossed the link went uncounted.)
 func (b *Broker) Advertise(streamName string) {
 	b.mu.Lock()
 	b.ownAdverts[streamName] = true
 	neighbors := append([]topology.NodeID(nil), b.neighbors...)
 	b.mu.Unlock()
 	for _, n := range neighbors {
+		b.net.CountControl(b.Node, n, advertSize)
 		b.net.Peer(n).AdvertFrom(b.Node, streamName)
 	}
 }
@@ -111,11 +149,11 @@ func (b *Broker) advertFrom(from topology.NodeID, streamName string) {
 		return // already known; stop the flood
 	}
 	set[streamName] = true
-	b.net.CountControl(b.Node, from, advertSize)
 	neighbors := append([]topology.NodeID(nil), b.neighbors...)
 	b.mu.Unlock()
 	for _, n := range neighbors {
 		if n != from {
+			b.net.CountControl(b.Node, n, advertSize)
 			b.net.Peer(n).AdvertFrom(b.Node, streamName)
 		}
 	}
@@ -129,7 +167,11 @@ func (b *Broker) Subscribe(sub *Subscription, h Handler) error {
 		return fmt.Errorf("pubsub: empty subscription")
 	}
 	b.mu.Lock()
-	b.locals = append(b.locals, localSub{sub: sub, handler: h})
+	l := localSub{sub: sub, handler: h, sentTo: make(map[topology.NodeID]bool)}
+	b.locals = append(b.locals, l)
+	c := compileSub(sub, h)
+	c.sentTo = l.sentTo
+	b.idx.locals.add(c)
 	b.mu.Unlock()
 	b.propagate(sub, -1)
 	return nil
@@ -148,24 +190,28 @@ func (b *Broker) Unsubscribe(id string) {
 		}
 	}
 	b.locals = kept
+	b.idx.rebuildLocals(b.locals)
 }
 
 // propagate forwards a subscription to every neighbor that advertises one
 // of its streams (except the neighbor it came from), unless a subscription
-// already forwarded from that direction covers it.
+// already forwarded from that direction covers it. Covering scans consult
+// the matching index: a covering subscription must list sub's first stream,
+// so only that posting list's candidates are examined.
 func (b *Broker) propagate(sub *Subscription, from topology.NodeID) {
+	if sub == nil || len(sub.Streams) == 0 {
+		// Subscribe validates this, but PropagateFrom is also reachable
+		// from wire transports; a streamless subscription matches
+		// nothing and must not be recorded or flooded.
+		return
+	}
 	b.mu.Lock()
 	if from >= 0 {
 		// Record the interest living behind 'from'.
-		covered := false
-		for _, s := range b.subs[from] {
-			if s.Covers(sub) {
-				covered = true
-				break
-			}
-		}
-		if !covered {
-			b.subs[from] = append(b.subs[from], sub.Clone())
+		if !b.coveredFrom(from, sub) {
+			clone := sub.Clone()
+			b.subs[from] = append(b.subs[from], clone)
+			b.idx.dir(from).add(compileSub(clone, nil))
 		}
 	}
 	targets := make([]topology.NodeID, 0, len(b.neighbors))
@@ -176,28 +222,34 @@ func (b *Broker) propagate(sub *Subscription, from topology.NodeID) {
 		if !b.advertisesAny(n, sub.Streams) {
 			continue
 		}
-		// Covering suppression: skip if a DIFFERENT subscription we
-		// already hold from any direction other than the target
-		// covers this one — it was already sent toward the sources.
-		// The subscription's own just-recorded clone must not
-		// suppress it, so identity is compared by ID.
-		suppressed := false
-		for dir, lst := range b.subs {
-			if dir == n {
-				continue
-			}
-			for _, s := range lst {
-				if s.ID != sub.ID && s.Covers(sub) {
-					suppressed = true
-					break
+		// Covering suppression: a DIFFERENT subscription covering this
+		// one already pulls a superset of its traffic toward n, so this
+		// one need not be sent there. A subscription recorded FROM the
+		// target direction cannot suppress (it was never sent toward n),
+		// and the subscription's own just-recorded clone must not
+		// suppress it, so identity is compared by ID. A locally-
+		// originated covering subscription suppresses only toward
+		// neighbors it was actually propagated to (its sentTo set):
+		// locals registered before the relevant adverts arrived were
+		// sent nowhere and guarantee nothing. (Locals used to be
+		// invisible here entirely, so a second local subscription
+		// covered by an earlier local one still flooded the overlay.)
+		if b.coveredByLocalToward(n, sub) || b.coveredExcept(n, sub) {
+			continue
+		}
+		targets = append(targets, n)
+	}
+	if from < 0 {
+		// Record where this local subscription is being sent; later
+		// covered subscriptions may suppress toward exactly these
+		// neighbors. The most recent registration owns the ID.
+		for i := len(b.locals) - 1; i >= 0; i-- {
+			if b.locals[i].sub.ID == sub.ID {
+				for _, n := range targets {
+					b.locals[i].sentTo[n] = true
 				}
-			}
-			if suppressed {
 				break
 			}
-		}
-		if !suppressed {
-			targets = append(targets, n)
 		}
 	}
 	b.mu.Unlock()
@@ -205,6 +257,73 @@ func (b *Broker) propagate(sub *Subscription, from topology.NodeID) {
 		b.net.CountControl(b.Node, n, subSize(sub))
 		b.net.Peer(n).PropagateFrom(sub, b.Node)
 	}
+}
+
+// coveredFrom reports whether a subscription already recorded from direction
+// `from` covers sub.
+func (b *Broker) coveredFrom(from topology.NodeID, sub *Subscription) bool {
+	if b.linearMatch {
+		for _, s := range b.subs[from] {
+			if s.Covers(sub) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, c := range b.idx.dir(from).coverCandidates(sub) {
+		if c.sub.Covers(sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// coveredExcept reports whether a different subscription recorded from any
+// direction other than n covers sub.
+func (b *Broker) coveredExcept(n topology.NodeID, sub *Subscription) bool {
+	if b.linearMatch {
+		for dir, lst := range b.subs {
+			if dir == n {
+				continue
+			}
+			for _, s := range lst {
+				if s.ID != sub.ID && s.Covers(sub) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for dir, d := range b.idx.dirs {
+		if dir == n {
+			continue
+		}
+		for _, c := range d.coverCandidates(sub) {
+			if c.sub.ID != sub.ID && c.sub.Covers(sub) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// coveredByLocalToward reports whether a different local client
+// subscription that was actually propagated to neighbor n covers sub.
+func (b *Broker) coveredByLocalToward(n topology.NodeID, sub *Subscription) bool {
+	if b.linearMatch {
+		for _, l := range b.locals {
+			if l.sentTo[n] && l.sub.ID != sub.ID && l.sub.Covers(sub) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, c := range b.idx.locals.coverCandidates(sub) {
+		if c.sentTo[n] && c.sub.ID != sub.ID && c.sub.Covers(sub) {
+			return true
+		}
+	}
+	return false
 }
 
 func (b *Broker) advertisesAny(neighbor topology.NodeID, streams []string) bool {
@@ -226,22 +345,69 @@ func (b *Broker) Publish(t stream.Tuple) {
 	b.route(t, -1)
 }
 
+// delivery is one matched local subscription, captured under the lock and
+// invoked after releasing it.
+type delivery struct {
+	h    Handler
+	sub  *Subscription
+	keep map[string]bool // projection set; nil = all attributes
+}
+
+// hop is one forwarding decision toward a neighbor.
+type hop struct {
+	to    topology.NodeID
+	attrs map[string]bool // nil = all
+}
+
 // route delivers the tuple locally and forwards it once per interested
 // neighbor, projecting the payload down to the union of downstream
-// attribute interests (early projection, §2).
+// attribute interests (early projection, §2). Matching runs on the inverted
+// index (matchIndexed) or on the retained linear reference (matchLinear);
+// the two produce identical decisions.
 func (b *Broker) route(t stream.Tuple, from topology.NodeID) {
 	b.mu.Lock()
+	var locals []delivery
+	var hops []hop
+	if b.linearMatch {
+		locals, hops = b.matchLinear(t, from)
+	} else {
+		locals, hops = b.matchIndexed(t, from)
+	}
+	b.mu.Unlock()
+
+	// Local deliveries run first, in subscription-registration order,
+	// outside the lock so handlers are free to call back into the broker.
+	// (They used to run via deferred calls: LIFO — the reverse of
+	// registration — and only after all forwarding.) A subscription that
+	// keeps every attribute gets its own copy of the attribute map so a
+	// handler mutating its tuple cannot corrupt the forwarded copies or a
+	// later handler's view.
+	for _, d := range locals {
+		pt := projectAttrs(t, d.keep)
+		if d.keep == nil {
+			pt.Attrs = make(map[string]stream.Value, len(t.Attrs))
+			for a, v := range t.Attrs {
+				pt.Attrs[a] = v
+			}
+		}
+		d.h(d.sub, pt)
+	}
+	for _, h := range hops {
+		fwd := projectAttrs(t, h.attrs)
+		b.net.CountData(b.Node, h.to, fwd.Size)
+		b.net.Peer(h.to).RouteFrom(fwd, b.Node)
+	}
+}
+
+// matchLinear is the reference matcher: every local subscription and every
+// recorded subscription of each outgoing direction is tested against the
+// tuple. Retained for the equivalence tests and the pre-index baseline.
+func (b *Broker) matchLinear(t stream.Tuple, from topology.NodeID) ([]delivery, []hop) {
+	var locals []delivery
 	for _, l := range b.locals {
 		if l.sub.Matches(t) && l.handler != nil {
-			h, s := l.handler, l.sub
-			// Deliver outside the lock to keep handlers free to
-			// call back into the broker.
-			defer func(tt stream.Tuple) { h(s, project(s, tt)) }(t)
+			locals = append(locals, delivery{h: l.handler, sub: l.sub, keep: keepSet(l.sub.Attrs)})
 		}
-	}
-	type hop struct {
-		to    topology.NodeID
-		attrs map[string]bool // nil = all
 	}
 	var hops []hop
 	for _, n := range b.neighbors {
@@ -275,25 +441,84 @@ func (b *Broker) route(t stream.Tuple, from topology.NodeID) {
 		}
 		hops = append(hops, hop{to: n, attrs: wanted})
 	}
-	b.mu.Unlock()
-
-	for _, h := range hops {
-		fwd := projectAttrs(t, h.attrs)
-		b.net.CountData(b.Node, h.to, fwd.Size)
-		b.net.Peer(h.to).RouteFrom(fwd, b.Node)
-	}
+	return locals, hops
 }
 
-// project narrows a tuple to a subscription's attribute list.
-func project(s *Subscription, t stream.Tuple) stream.Tuple {
-	if s.Attrs == nil {
-		return t
+// matchIndexed matches via the inverted index: only the posting list of the
+// tuple's stream is consulted per direction, each candidate evaluates its
+// compiled filter groups, and when every candidate matches, the forwarding
+// projection is the direction's precomputed per-stream union instead of a
+// per-tuple rebuild.
+func (b *Broker) matchIndexed(t stream.Tuple, from topology.NodeID) ([]delivery, []hop) {
+	var locals []delivery
+	for _, c := range b.idx.locals.byStream[t.Stream] {
+		if c.handler != nil && c.matches(t) {
+			locals = append(locals, delivery{h: c.handler, sub: c.sub, keep: c.keep})
+		}
 	}
-	keep := make(map[string]bool, len(s.Attrs))
-	for _, a := range s.Attrs {
+	var hops []hop
+	for _, n := range b.neighbors {
+		if n == from {
+			continue
+		}
+		d, ok := b.idx.dirs[n]
+		if !ok {
+			continue
+		}
+		cands := d.byStream[t.Stream]
+		if len(cands) == 0 {
+			continue
+		}
+		matched := b.matchScratch[:0]
+		all := false
+		for _, c := range cands {
+			if !c.matches(t) {
+				continue
+			}
+			if c.keep == nil {
+				all = true
+				break
+			}
+			matched = append(matched, c)
+		}
+		b.matchScratch = matched // retain grown capacity for the next tuple
+		var wanted map[string]bool
+		switch {
+		case all:
+			wanted = nil
+		case len(matched) == 0:
+			continue // not interested
+		case len(matched) == len(cands):
+			// Every candidate matched, and none keeps all attributes
+			// (such a candidate would have matched too): the
+			// incrementally maintained union IS the per-tuple union.
+			// The map is immutable (copy-on-write on subscribe), so
+			// handing it out is safe.
+			wanted = d.union[t.Stream].keep
+		default:
+			wanted = make(map[string]bool)
+			for _, c := range matched {
+				for a := range c.keep {
+					wanted[a] = true
+				}
+			}
+		}
+		hops = append(hops, hop{to: n, attrs: wanted})
+	}
+	return locals, hops
+}
+
+// keepSet converts an attribute projection list to the lookup-set form used
+// by projectAttrs (nil stays nil = keep all).
+func keepSet(attrs []string) map[string]bool {
+	if attrs == nil {
+		return nil
+	}
+	keep := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
 		keep[a] = true
 	}
-	return projectAttrs(t, keep)
+	return keep
 }
 
 func projectAttrs(t stream.Tuple, keep map[string]bool) stream.Tuple {

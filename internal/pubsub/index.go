@@ -1,0 +1,228 @@
+package pubsub
+
+import (
+	"math"
+
+	"repro/internal/query"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// This file implements the broker-side matching/forwarding index: the same
+// inverted-index discipline the optimizer uses for query-graph edge
+// construction (internal/querygraph), applied to event routing. Every
+// subscription list a broker consults per tuple — the interests recorded per
+// neighbor direction and the local client subscriptions — is mirrored by a
+// dirIndex holding
+//
+//   - stream → posting list (registration order), so a tuple is matched only
+//     against subscriptions that list its stream instead of every
+//     subscription the broker knows;
+//   - per subscription, the conjunctive selection filters compiled into one
+//     query.Interval per attribute, so matching evaluates one membership
+//     test per constrained attribute instead of one predicate walk each;
+//   - per (direction, stream), the incrementally maintained union of the
+//     subscriptions' attribute projections, so the common all-match case
+//     forwards with the precomputed union instead of rebuilding it per
+//     tuple.
+//
+// The index is maintained under Broker.mu at subscribe/propagate time and
+// reproduces the retained linear matcher bit-for-bit: identical forwarding
+// decisions, local delivery sets and orders, projection attribute sets, and
+// therefore identical traffic counters (enforced by the package equivalence
+// tests, the same discipline as querygraph.ComputeEdgesNaive).
+
+// matchIndex is one broker's matching state: one dirIndex per neighbor
+// direction plus one for local client subscriptions.
+type matchIndex struct {
+	locals *dirIndex
+	dirs   map[topology.NodeID]*dirIndex
+}
+
+func newMatchIndex() *matchIndex {
+	return &matchIndex{locals: newDirIndex(), dirs: make(map[topology.NodeID]*dirIndex)}
+}
+
+// dir returns the index of one neighbor direction, creating it on first use.
+func (m *matchIndex) dir(n topology.NodeID) *dirIndex {
+	d, ok := m.dirs[n]
+	if !ok {
+		d = newDirIndex()
+		m.dirs[n] = d
+	}
+	return d
+}
+
+// rebuildLocals recompiles the locals index after an unsubscribe, preserving
+// registration order and each subscription's propagation record.
+func (m *matchIndex) rebuildLocals(locals []localSub) {
+	d := newDirIndex()
+	for _, l := range locals {
+		c := compileSub(l.sub, l.handler)
+		c.sentTo = l.sentTo
+		d.add(c)
+	}
+	m.locals = d
+}
+
+// dirIndex indexes the subscriptions of one direction (a neighbor, or the
+// broker's locals).
+type dirIndex struct {
+	subs []*compiledSub
+	// byStream holds the posting lists, each in registration order. A
+	// subscription listing a stream twice appears once (matching is
+	// per-subscription, not per-listing).
+	byStream map[string][]*compiledSub
+	// union holds the per-stream projection union, maintained
+	// incrementally on add. Published maps are immutable (copy-on-write):
+	// route hands them to in-flight hops outside the broker lock.
+	union map[string]*attrUnion
+}
+
+func newDirIndex() *dirIndex {
+	return &dirIndex{
+		byStream: make(map[string][]*compiledSub),
+		union:    make(map[string]*attrUnion),
+	}
+}
+
+// add appends a compiled subscription, updating posting lists and projection
+// unions.
+func (d *dirIndex) add(c *compiledSub) {
+	d.subs = append(d.subs, c)
+	seen := make(map[string]bool, len(c.sub.Streams))
+	for _, s := range c.sub.Streams {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		d.byStream[s] = append(d.byStream[s], c)
+		d.union[s] = d.union[s].extend(c.keep)
+	}
+}
+
+// coverCandidates returns the recorded subscriptions that could cover sub:
+// a covering subscription must list every stream of sub, so the posting list
+// of sub's first stream is an exact candidate superset.
+func (d *dirIndex) coverCandidates(sub *Subscription) []*compiledSub {
+	return d.byStream[sub.Streams[0]]
+}
+
+// attrUnion is the projection union of the subscriptions posted on one
+// (direction, stream) pair: all is set when any of them keeps every
+// attribute (nil Attrs); keep unions the explicit projection lists.
+type attrUnion struct {
+	all  bool
+	keep map[string]bool
+}
+
+// extend returns the union grown by one subscription's projection set. The
+// receiver (and its keep map) is never mutated — hops captured by an
+// in-flight route may still reference it — so growth builds a fresh map.
+func (u *attrUnion) extend(keep map[string]bool) *attrUnion {
+	next := &attrUnion{}
+	var old map[string]bool
+	if u != nil {
+		next.all = u.all
+		old = u.keep
+	}
+	if keep == nil {
+		next.all = true
+		next.keep = old
+		return next
+	}
+	merged := make(map[string]bool, len(old)+len(keep))
+	for a := range old {
+		merged[a] = true
+	}
+	for a := range keep {
+		merged[a] = true
+	}
+	next.keep = merged
+	return next
+}
+
+// compiledSub is one subscription with its matching state precomputed: the
+// projection set as a lookup map and the filters partitioned into compiled
+// per-attribute interval groups (numeric selections) and a raw remainder
+// evaluated predicate-by-predicate.
+type compiledSub struct {
+	sub     *Subscription
+	handler Handler // locals only
+	// sentTo aliases the owning localSub's propagation record (locals
+	// only; nil for recorded neighbor subscriptions).
+	sentTo map[topology.NodeID]bool
+	// keep mirrors sub.Attrs as a set: nil keeps every attribute; an empty
+	// non-nil map mirrors an explicitly empty projection list.
+	keep   map[string]bool
+	groups []attrGroup
+	raw    []query.Predicate
+}
+
+// attrGroup is the compiled conjunction of one attribute's numeric selection
+// filters: the folded interval for the fast path, plus the original
+// predicates for the fallback on string-typed or NaN attribute values (whose
+// Compare semantics an interval cannot express).
+type attrGroup struct {
+	attr  string
+	iv    query.Interval
+	preds []query.Predicate
+}
+
+// compileSub precomputes the matching state of one subscription. handler is
+// non-nil only for local client subscriptions.
+func compileSub(s *Subscription, h Handler) *compiledSub {
+	c := &compiledSub{sub: s, handler: h, keep: keepSet(s.Attrs)}
+	groups := make(map[string]int)
+	for _, f := range s.Filters {
+		n, ok := query.NumericSelection(f)
+		if !ok {
+			c.raw = append(c.raw, f)
+			continue
+		}
+		attr := n.Left.Col.Attr
+		gi, ok := groups[attr]
+		if !ok {
+			gi = len(c.groups)
+			groups[attr] = gi
+			c.groups = append(c.groups, attrGroup{attr: attr, iv: query.FullInterval()})
+		}
+		g := &c.groups[gi]
+		g.iv = g.iv.Constrain(n.Op, *n.Right.Lit)
+		g.preds = append(g.preds, f)
+	}
+	return c
+}
+
+// matches reproduces sub.Matches(t) for posting-list candidates (whose
+// stream membership is already established): each compiled group evaluates
+// one interval-membership test on the attribute value; string-typed or NaN
+// values fall back to the group's original predicates; uncompiled filters
+// evaluate raw. Conjunction order does not matter (predicate evaluation is
+// pure), so the outcome is exactly the linear matcher's.
+func (c *compiledSub) matches(t stream.Tuple) bool {
+	for i := range c.groups {
+		g := &c.groups[i]
+		v, ok := t.Get(g.attr)
+		if !ok {
+			return false
+		}
+		if v.Type == stream.String || math.IsNaN(v.F) {
+			for _, p := range g.preds {
+				if !evalFilter(p, t) {
+					return false
+				}
+			}
+			continue
+		}
+		if !g.iv.ContainsFloat(v.F) {
+			return false
+		}
+	}
+	for _, p := range c.raw {
+		if !evalFilter(p, t) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,296 @@
+package pubsub
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// This file enforces the index-equivalence contract: the inverted matching
+// index must reproduce the retained linear matcher bit-for-bit — the same
+// forwarding decisions (observed as per-link traffic), the same local
+// delivery sets and orders, the same projected payloads, and the same
+// recorded routing state — over randomized overlays and workloads. It is
+// the pub/sub counterpart of querygraph's ComputeEdgesNaive equivalence
+// discipline.
+
+const (
+	eqAdvertise = iota
+	eqSubscribe
+	eqPublish
+)
+
+type eqOp struct {
+	kind int
+	node topology.NodeID
+	strm string
+	sub  *Subscription
+	tup  stream.Tuple
+}
+
+var eqStreams = []string{"R", "S", "T"}
+
+// eqRandomSub draws a subscription over the shared stream pool: 1-3 streams,
+// a nil / empty / partial projection, and 0-3 filters mixing numeric ops,
+// string literals (uncompilable: kept raw) and absent attributes.
+func eqRandomSub(r *rand.Rand, id int) *Subscription {
+	s := &Subscription{ID: fmt.Sprintf("s%d", id)}
+	perm := r.Perm(len(eqStreams))
+	for _, i := range perm[:1+r.IntN(len(eqStreams))] {
+		s.Streams = append(s.Streams, eqStreams[i])
+	}
+	switch r.IntN(4) {
+	case 0: // nil: keep everything
+	case 1:
+		s.Attrs = []string{} // empty projection
+	default:
+		pool := []string{"a", "b", "tag"}
+		pp := r.Perm(len(pool))
+		for _, i := range pp[:1+r.IntN(len(pool))] {
+			s.Attrs = append(s.Attrs, pool[i])
+		}
+	}
+	ops := []query.Op{query.Eq, query.Ne, query.Lt, query.Le, query.Gt, query.Ge}
+	attrs := []string{"a", "b", "c", "d"} // d is often absent from tuples
+	for i := 0; i < r.IntN(4); i++ {
+		attr := attrs[r.IntN(len(attrs))]
+		op := ops[r.IntN(len(ops))]
+		var lit stream.Value
+		if r.IntN(5) == 0 {
+			lit = stream.StringVal([]string{"x", "y"}[r.IntN(2)])
+		} else {
+			lit = stream.FloatVal(float64(r.IntN(21) - 10))
+		}
+		s.Filters = append(s.Filters, query.Predicate{
+			Left:  query.Operand{Col: &query.ColRef{Attr: attr}},
+			Op:    op,
+			Right: query.Operand{Lit: &lit},
+		})
+	}
+	return s
+}
+
+// eqRandomTuple draws a message over the same domain, mixing value types so
+// the compiled matcher's string/type-mismatch fallback is exercised.
+func eqRandomTuple(r *rand.Rand) stream.Tuple {
+	names := append(append([]string(nil), eqStreams...), "Z") // Z: never subscribed
+	t := stream.Tuple{
+		Stream: names[r.IntN(len(names))],
+		Attrs:  make(map[string]stream.Value),
+	}
+	for _, attr := range []string{"a", "b", "c"} {
+		switch r.IntN(4) {
+		case 0: // absent
+		case 1:
+			t.Attrs[attr] = stream.StringVal([]string{"x", "y"}[r.IntN(2)])
+		case 2:
+			t.Attrs[attr] = stream.IntVal(int64(r.IntN(25) - 12))
+		default:
+			t.Attrs[attr] = stream.FloatVal(float64(r.IntN(25) - 12))
+		}
+	}
+	if r.IntN(2) == 0 {
+		t.Attrs["tag"] = stream.StringVal([]string{"x", "y"}[r.IntN(2)])
+	}
+	t.Size = tupleSize(len(t.Attrs))
+	return t
+}
+
+// eqScenario draws a full randomized workload: adverts, subscriptions and
+// publishes over a random broker set, shuffled so registration and traffic
+// interleave.
+func eqScenario(r *rand.Rand, nodes int) []eqOp {
+	var ops []eqOp
+	for _, s := range eqStreams {
+		for i := 0; i < 1+r.IntN(2); i++ {
+			ops = append(ops, eqOp{kind: eqAdvertise, node: topology.NodeID(r.IntN(nodes)), strm: s})
+		}
+	}
+	for i := 0; i < 10+r.IntN(20); i++ {
+		ops = append(ops, eqOp{kind: eqSubscribe, node: topology.NodeID(r.IntN(nodes)), sub: eqRandomSub(r, i)})
+	}
+	for i := 0; i < 40+r.IntN(40); i++ {
+		ops = append(ops, eqOp{kind: eqPublish, node: topology.NodeID(r.IntN(nodes)), tup: eqRandomTuple(r)})
+	}
+	r.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+	return ops
+}
+
+func eqNetwork(t *testing.T, r *rand.Rand, nodes int) (*topology.Oracle, []topology.NodeID) {
+	t.Helper()
+	g := topology.NewGraph(nodes)
+	ids := make([]topology.NodeID, nodes)
+	for i := 0; i < nodes; i++ {
+		ids[i] = topology.NodeID(i)
+		for j := i + 1; j < nodes; j++ {
+			if err := g.AddEdge(topology.NodeID(i), topology.NodeID(j), 1+10*r.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return topology.NewOracle(g), ids
+}
+
+func renderTuple(t stream.Tuple) string {
+	keys := make([]string, 0, len(t.Attrs))
+	for k := range t.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s sz=%d", t.Stream, t.Size)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%s", k, t.Attrs[k])
+	}
+	return b.String()
+}
+
+// runEqScenario replays a scenario on a fresh overlay and returns the
+// ordered delivery log.
+func runEqScenario(t *testing.T, net *Network, ops []eqOp) []string {
+	t.Helper()
+	var log []string
+	for _, o := range ops {
+		b, ok := net.Broker(o.node)
+		if !ok {
+			t.Fatalf("no broker at %d", o.node)
+		}
+		switch o.kind {
+		case eqAdvertise:
+			b.Advertise(o.strm)
+		case eqSubscribe:
+			node, sub := o.node, o.sub.Clone()
+			if err := b.Subscribe(sub, func(s *Subscription, tp stream.Tuple) {
+				log = append(log, fmt.Sprintf("%d/%s %s", node, s.ID, renderTuple(tp)))
+			}); err != nil {
+				t.Fatal(err)
+			}
+		case eqPublish:
+			b.Publish(o.tup)
+		}
+	}
+	return log
+}
+
+// subsState renders every broker's recorded routing state (the per-direction
+// subscription lists), so covering decisions are compared too.
+func subsState(net *Network) string {
+	var b strings.Builder
+	for _, n := range net.Nodes() {
+		br, _ := net.Broker(n)
+		br.mu.Lock()
+		dirs := make([]topology.NodeID, 0, len(br.subs))
+		for d := range br.subs {
+			dirs = append(dirs, d)
+		}
+		sort.Slice(dirs, func(i, j int) bool { return dirs[i] < dirs[j] })
+		for _, d := range dirs {
+			ids := make([]string, 0, len(br.subs[d]))
+			for _, s := range br.subs[d] {
+				ids = append(ids, s.ID)
+			}
+			fmt.Fprintf(&b, "%d<-%d: %s\n", n, d, strings.Join(ids, ","))
+		}
+		br.mu.Unlock()
+	}
+	return b.String()
+}
+
+// TestMatchIndexEquivalence: over randomized overlays and workloads, the
+// indexed matcher and the linear reference produce identical delivery logs
+// (sets, order, payloads), identical per-link data and control traffic, and
+// identical recorded routing state.
+func TestMatchIndexEquivalence(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		r := rand.New(rand.NewPCG(seed, 2008))
+		nodes := 4 + int(seed%4)
+		oracle, ids := eqNetwork(t, r, nodes)
+		ops := eqScenario(r, nodes)
+
+		lin, err := NewNetwork(oracle, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lin.SetLinearMatching(true)
+		idx, err := NewNetwork(oracle, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		linLog := runEqScenario(t, lin, ops)
+		idxLog := runEqScenario(t, idx, ops)
+
+		if !reflect.DeepEqual(linLog, idxLog) {
+			t.Fatalf("seed %d: delivery logs differ\nlinear:  %v\nindexed: %v", seed, linLog, idxLog)
+		}
+		if !reflect.DeepEqual(lin.data, idx.data) {
+			t.Fatalf("seed %d: per-link data traffic differs\nlinear:  %v\nindexed: %v", seed, lin.data, idx.data)
+		}
+		if !reflect.DeepEqual(lin.control, idx.control) {
+			t.Fatalf("seed %d: per-link control traffic differs\nlinear:  %v\nindexed: %v", seed, lin.control, idx.control)
+		}
+		if a, b := subsState(lin), subsState(idx); a != b {
+			t.Fatalf("seed %d: routing state differs\nlinear:\n%s\nindexed:\n%s", seed, a, b)
+		}
+		if a, b := lin.Traffic(), idx.Traffic(); a != b {
+			t.Fatalf("seed %d: traffic reports differ: %+v vs %+v", seed, a, b)
+		}
+	}
+}
+
+// TestCompiledSubMatchesLinear: the compiled per-subscription matcher agrees
+// with Subscription.Matches on every tuple whose stream the subscription
+// lists (the posting-list precondition).
+func TestCompiledSubMatchesLinear(t *testing.T) {
+	for seed := uint64(0); seed < 300; seed++ {
+		r := rand.New(rand.NewPCG(seed, 31))
+		s := eqRandomSub(r, int(seed))
+		c := compileSub(s, nil)
+		for trial := 0; trial < 30; trial++ {
+			tp := eqRandomTuple(r)
+			if !s.hasStream(tp.Stream) {
+				continue
+			}
+			if got, want := c.matches(tp), s.Matches(tp); got != want {
+				t.Fatalf("seed %d: compiled=%v linear=%v for %s on %s",
+					seed, got, want, s, renderTuple(tp))
+			}
+		}
+	}
+}
+
+// TestTrafficReportDeterminism: replaying the same workload on a fresh
+// multi-broker overlay yields a bit-identical TrafficReport and delivery
+// log. (Traffic sums per-link volumes in sorted order — map-iteration-order
+// summation used to make WeightedCost drift across identical runs.)
+func TestTrafficReportDeterminism(t *testing.T) {
+	const nodes = 6
+	run := func() (TrafficReport, []string) {
+		r := rand.New(rand.NewPCG(7, 2008))
+		oracle, ids := eqNetwork(t, r, nodes)
+		ops := eqScenario(r, nodes)
+		net, err := NewNetwork(oracle, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		log := runEqScenario(t, net, ops)
+		return net.Traffic(), log
+	}
+	rep1, log1 := run()
+	for i := 0; i < 5; i++ {
+		rep2, log2 := run()
+		if rep1 != rep2 {
+			t.Fatalf("traffic report not deterministic: %+v vs %+v", rep1, rep2)
+		}
+		if !reflect.DeepEqual(log1, log2) {
+			t.Fatalf("delivery log not deterministic")
+		}
+	}
+}

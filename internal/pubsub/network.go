@@ -147,22 +147,55 @@ type TrafficReport struct {
 	Links int
 }
 
-// Traffic returns the current report.
+// Traffic returns the current report. Per-link volumes are summed in sorted
+// link order: float addition is not associative, so summing in Go's random
+// map-iteration order would make the report differ across identical runs.
 func (net *Network) Traffic() TrafficReport {
 	net.mu.Lock()
 	defer net.mu.Unlock()
 	var rep TrafficReport
-	for link, bytes := range net.data {
+	for _, link := range sortedLinks(net.data) {
+		bytes := net.data[link]
 		rep.DataBytes += bytes
 		rep.WeightedCost += bytes * net.links[link]
 		if bytes > 0 {
 			rep.Links++
 		}
 	}
-	for _, bytes := range net.control {
-		rep.ControlBytes += bytes
+	for _, link := range sortedLinks(net.control) {
+		rep.ControlBytes += net.control[link]
 	}
 	return rep
+}
+
+func sortedLinks(m map[[2]topology.NodeID]float64) [][2]topology.NodeID {
+	out := make([][2]topology.NodeID, 0, len(m))
+	for link := range m {
+		out = append(out, link)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// SetLinearMatching flips every broker between the inverted matching index
+// and the retained linear reference matcher (see Broker.SetLinearMatching).
+// Equivalence tests and baseline benchmarks use it; production deployments
+// stay indexed.
+func (net *Network) SetLinearMatching(on bool) {
+	net.mu.Lock()
+	brokers := make([]*Broker, 0, len(net.brokers))
+	for _, b := range net.brokers {
+		brokers = append(brokers, b)
+	}
+	net.mu.Unlock()
+	for _, b := range brokers {
+		b.SetLinearMatching(on)
+	}
 }
 
 // Nodes returns the broker nodes sorted by ID.

@@ -1,6 +1,7 @@
 package pubsub
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/query"
@@ -155,6 +156,186 @@ func TestUnsubscribeStopsDelivery(t *testing.T) {
 	src.Publish(tuple("R", nil))
 	if hits != 1 {
 		t.Errorf("hits = %d, want 1", hits)
+	}
+}
+
+// TestLocalDeliveryOrderAndPhase: matched local handlers fire in
+// subscription-registration order, and before forwarding. (They used to run
+// as deferred calls: LIFO and only after every forward.)
+func TestLocalDeliveryOrderAndPhase(t *testing.T) {
+	net := lineNet(t)
+	src, _ := net.Broker(0)
+	dst, _ := net.Broker(1)
+	src.Advertise("R")
+
+	var events []string
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("local%d", i)
+		sub := &Subscription{ID: name, Streams: []string{"R"}}
+		if err := src.Subscribe(sub, func(*Subscription, stream.Tuple) {
+			events = append(events, name)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dst.Subscribe(&Subscription{ID: "remote", Streams: []string{"R"}},
+		func(*Subscription, stream.Tuple) { events = append(events, "remote") }); err != nil {
+		t.Fatal(err)
+	}
+
+	src.Publish(tuple("R", map[string]float64{"a": 1}))
+	want := []string{"local0", "local1", "local2", "remote"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", events, want)
+		}
+	}
+}
+
+// TestLocalDeliveryCopiesAttrs: a handler receiving the full tuple (nil
+// projection) gets its own attribute map, so mutating it cannot corrupt the
+// copies forwarded to neighbors or delivered to later handlers.
+func TestLocalDeliveryCopiesAttrs(t *testing.T) {
+	net := lineNet(t)
+	src, _ := net.Broker(0)
+	dst, _ := net.Broker(1)
+	src.Advertise("R")
+
+	if err := src.Subscribe(&Subscription{ID: "mut", Streams: []string{"R"}},
+		func(_ *Subscription, tp stream.Tuple) { delete(tp.Attrs, "a") }); err != nil {
+		t.Fatal(err)
+	}
+	var got stream.Tuple
+	if err := dst.Subscribe(&Subscription{ID: "obs", Streams: []string{"R"}},
+		func(_ *Subscription, tp stream.Tuple) { got = tp }); err != nil {
+		t.Fatal(err)
+	}
+	src.Publish(tuple("R", map[string]float64{"a": 7}))
+	if v, ok := got.Attrs["a"]; !ok || v.F != 7 {
+		t.Fatalf("forwarded tuple lost attribute mutated by a local handler: %v", got.Attrs)
+	}
+}
+
+// TestAdvertSendSideAccounting: advert flood traffic is charged by the
+// sender for every link the advert crosses — including re-advertisements
+// the receiver duplicate-suppresses, which used to go uncounted.
+func TestAdvertSendSideAccounting(t *testing.T) {
+	net := lineNet(t)
+	src, _ := net.Broker(0)
+	src.Advertise("R")
+	// First flood crosses each of the 3 overlay links once.
+	if rep := net.Traffic(); rep.ControlBytes != 3*advertSize {
+		t.Fatalf("control bytes after flood = %v, want %v", rep.ControlBytes, 3*advertSize)
+	}
+	// Re-advertising crosses 0-1 once more before broker 1 suppresses it.
+	src.Advertise("R")
+	if rep := net.Traffic(); rep.ControlBytes != 4*advertSize {
+		t.Fatalf("control bytes after duplicate advert = %v, want %v", rep.ControlBytes, 4*advertSize)
+	}
+}
+
+// TestLocalCoverSuppressesPropagation: a second local subscription covered
+// by an earlier local one must not flood the overlay — the covering
+// subscription already pulls a superset of its traffic — while local
+// delivery of both keeps working. (Locally-originated subscriptions used to
+// be invisible to the suppression check.)
+func TestLocalCoverSuppressesPropagation(t *testing.T) {
+	net := lineNet(t)
+	src, _ := net.Broker(0)
+	b3, _ := net.Broker(3)
+	src.Advertise("R")
+
+	wideHits, narrowHits := 0, 0
+	wide := &Subscription{ID: "wide", Streams: []string{"R"}}
+	if err := b3.Subscribe(wide, func(*Subscription, stream.Tuple) { wideHits++ }); err != nil {
+		t.Fatal(err)
+	}
+	before := net.Traffic().ControlBytes
+	narrow := &Subscription{ID: "narrow", Streams: []string{"R"},
+		Filters: []query.Predicate{filter("a", query.Gt, 10)}}
+	if err := b3.Subscribe(narrow, func(*Subscription, stream.Tuple) { narrowHits++ }); err != nil {
+		t.Fatal(err)
+	}
+	if after := net.Traffic().ControlBytes; after != before {
+		t.Fatalf("covered local subscription still flooded: control %v -> %v", before, after)
+	}
+
+	src.Publish(tuple("R", map[string]float64{"a": 15}))
+	src.Publish(tuple("R", map[string]float64{"a": 5}))
+	if wideHits != 2 || narrowHits != 1 {
+		t.Fatalf("deliveries wide=%d narrow=%d, want 2/1", wideHits, narrowHits)
+	}
+}
+
+// TestLocalCoverSuppressionGatedOnPropagation: a local subscription that
+// was never actually propagated (registered before any matching advert
+// arrived) must NOT suppress a later covered subscription — suppression is
+// sound only toward neighbors the covering subscription was sent to.
+func TestLocalCoverSuppressionGatedOnPropagation(t *testing.T) {
+	net := lineNet(t)
+	src, _ := net.Broker(0)
+	b3, _ := net.Broker(3)
+
+	// Subscribe before any advert exists: wide propagates nowhere.
+	wideHits, narrowHits := 0, 0
+	wide := &Subscription{ID: "wide", Streams: []string{"R"}}
+	if err := b3.Subscribe(wide, func(*Subscription, stream.Tuple) { wideHits++ }); err != nil {
+		t.Fatal(err)
+	}
+	src.Advertise("R")
+
+	before := net.Traffic().ControlBytes
+	narrow := &Subscription{ID: "narrow", Streams: []string{"R"},
+		Filters: []query.Predicate{filter("a", query.Gt, 10)}}
+	if err := b3.Subscribe(narrow, func(*Subscription, stream.Tuple) { narrowHits++ }); err != nil {
+		t.Fatal(err)
+	}
+	if after := net.Traffic().ControlBytes; after == before {
+		t.Fatal("narrow suppressed by a local subscription that was never propagated")
+	}
+	src.Publish(tuple("R", map[string]float64{"a": 15}))
+	if narrowHits != 1 || wideHits != 1 {
+		t.Fatalf("deliveries narrow=%d wide=%d, want 1/1", narrowHits, wideHits)
+	}
+}
+
+// TestPropagateFromRejectsEmptySubscription: wire transports can deliver
+// arbitrary subscriptions; a streamless one must be dropped, not crash the
+// broker.
+func TestPropagateFromRejectsEmptySubscription(t *testing.T) {
+	net := lineNet(t)
+	b1, _ := net.Broker(1)
+	b1.PropagateFrom(&Subscription{ID: "bad"}, 0)
+	b1.PropagateFrom(nil, 0)
+	if rep := net.Traffic(); rep.ControlBytes != 0 {
+		t.Fatalf("empty subscription generated traffic: %v", rep.ControlBytes)
+	}
+}
+
+// TestMalformedFilterTolerated: a filter whose non-column operand carries no
+// literal (IsSelection is still true for it) must not crash compilation —
+// it evaluates false, exactly as the linear matcher's evalFilter treats it.
+func TestMalformedFilterTolerated(t *testing.T) {
+	net := lineNet(t)
+	src, _ := net.Broker(0)
+	src.Advertise("R")
+	hits := 0
+	bad := &Subscription{ID: "bad", Streams: []string{"R"},
+		Filters: []query.Predicate{{
+			Left: query.Operand{Col: &query.ColRef{Attr: "a"}},
+			Op:   query.Gt, // Right operand empty: no Col, no Lit
+		}}}
+	if err := src.Subscribe(bad, func(*Subscription, stream.Tuple) { hits++ }); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := net.Broker(1)
+	b1.PropagateFrom(bad, 2) // wire-delivered copy must not crash either
+	src.Publish(tuple("R", map[string]float64{"a": 5}))
+	if hits != 0 {
+		t.Fatalf("malformed filter matched %d tuples, want 0", hits)
 	}
 }
 

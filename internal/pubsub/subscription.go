@@ -105,10 +105,10 @@ func (s *Subscription) Covers(o *Subscription) bool {
 		}
 	}
 	// Filters: o's conjunction must imply every filter of s.
-	ivs := filterIntervals(o.Filters)
+	ivs := query.SelectionIntervalsByAttr(o.Filters)
 	for _, f := range s.Filters {
 		f = f.Normalize()
-		if !f.IsSelection() {
+		if !f.IsSelection() || f.Right.Lit == nil {
 			return false
 		}
 		iv, ok := ivs[f.Left.Col.Attr]
@@ -120,23 +120,6 @@ func (s *Subscription) Covers(o *Subscription) bool {
 		}
 	}
 	return true
-}
-
-func filterIntervals(filters []query.Predicate) map[string]query.Interval {
-	out := make(map[string]query.Interval)
-	for _, f := range filters {
-		f = f.Normalize()
-		if !f.IsSelection() {
-			continue
-		}
-		key := f.Left.Col.Attr
-		iv, ok := out[key]
-		if !ok {
-			iv = query.FullInterval()
-		}
-		out[key] = iv.Constrain(f.Op, *f.Right.Lit)
-	}
-	return out
 }
 
 // MergeSubscriptions builds the union profile of two subscriptions — the
@@ -164,7 +147,7 @@ func MergeSubscriptions(id string, a, b *Subscription) *Subscription {
 		}
 		sort.Strings(out.Attrs)
 	}
-	ia, ib := filterIntervals(a.Filters), filterIntervals(b.Filters)
+	ia, ib := query.SelectionIntervalsByAttr(a.Filters), query.SelectionIntervalsByAttr(b.Filters)
 	cols := make([]string, 0, len(ia))
 	for c := range ia {
 		if _, ok := ib[c]; ok {

@@ -112,14 +112,17 @@ func (iv Interval) Constrain(op Op, lit stream.Value) Interval {
 	v := lit.F
 	switch op {
 	case Eq:
+		// An equality at (or beyond) an open bound contradicts it:
+		// {x > 5, x == 5} admits nothing. Record the contradiction
+		// before pinning, or the pinned [v,v] would silently admit v.
+		if v < iv.Lo || (v == iv.Lo && iv.LoOpen) || v > iv.Hi || (v == iv.Hi && iv.HiOpen) {
+			iv.contradictory = true
+		}
 		if v > iv.Lo || (v == iv.Lo && iv.LoOpen) {
 			iv.Lo, iv.LoOpen = v, false
 		}
 		if v < iv.Hi || (v == iv.Hi && iv.HiOpen) {
 			iv.Hi, iv.HiOpen = v, false
-		}
-		if v < iv.Lo || v > iv.Hi {
-			iv.contradictory = true
 		}
 	case Ne:
 		iv.NotEq = append(iv.NotEq, v)
@@ -198,6 +201,77 @@ func (iv Interval) Implies(op Op, lit stream.Value) bool {
 	default:
 		return false
 	}
+}
+
+// ContainsFloat reports whether the numeric value x satisfies every
+// constraint of the interval — the point-membership dual of Implies. It
+// reproduces, for a Float/Int-typed attribute value, the conjunction of the
+// selection predicates folded into the interval by Constrain: each numeric
+// comparison op tightens exactly one bound (or the disequality set), so
+// membership in the resulting set equals evaluating every predicate in turn.
+// A string-equality constraint never admits a numeric value (Value.Compare
+// orders all numerics before all strings), and excluded strings never reject
+// one. The broker matching index uses this to evaluate a subscription's
+// per-attribute filter conjunction with one call.
+func (iv Interval) ContainsFloat(x float64) bool {
+	if iv.contradictory || iv.EqString != nil {
+		return false
+	}
+	if x < iv.Lo || (x == iv.Lo && iv.LoOpen) {
+		return false
+	}
+	if x > iv.Hi || (x == iv.Hi && iv.HiOpen) {
+		return false
+	}
+	for _, ne := range iv.NotEq {
+		if ne == x {
+			return false
+		}
+	}
+	return true
+}
+
+// SelectionIntervalsByAttr folds a conjunction of selection predicates over
+// flat (alias-free) tuples into one Interval per bare attribute name — the
+// Pub/Sub counterpart of ColumnIntervals, whose keys carry aliases.
+// Non-selection predicates are ignored.
+func SelectionIntervalsByAttr(preds []Predicate) map[string]Interval {
+	out := make(map[string]Interval)
+	for _, p := range preds {
+		p = p.Normalize()
+		if !p.IsSelection() || p.Right.Lit == nil {
+			continue
+		}
+		key := p.Left.Col.Attr
+		iv, ok := out[key]
+		if !ok {
+			iv = FullInterval()
+		}
+		out[key] = iv.Constrain(p.Op, *p.Right.Lit)
+	}
+	return out
+}
+
+// NumericSelection reports whether p compares a column to a finite numeric
+// literal — the predicate class whose conjunctions compile exactly into
+// Interval constraints evaluable with ContainsFloat. It returns the
+// normalized (column-on-the-left) form. A missing literal (a malformed
+// column-versus-nothing predicate, which IsSelection still reports true
+// for) is rejected so callers fall back to raw evaluation. String literals
+// are excluded because mixed numeric/string comparisons follow
+// Value.Compare's type ordering, and NaN literals because every comparison
+// against NaN evaluates through Compare's cmp==0 branch, which no interval
+// bound can express.
+func NumericSelection(p Predicate) (Predicate, bool) {
+	p = p.Normalize()
+	if !p.IsSelection() || p.Right.Lit == nil || p.Right.Lit.Type == stream.String || math.IsNaN(p.Right.Lit.F) {
+		return p, false
+	}
+	switch p.Op {
+	case Eq, Ne, Lt, Le, Gt, Ge:
+		return p, true
+	}
+	return p, false
 }
 
 // Union widens iv to cover both iv and o — the weakest numeric constraint

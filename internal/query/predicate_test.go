@@ -1,6 +1,7 @@
 package query
 
 import (
+	"math"
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
@@ -233,5 +234,104 @@ func TestQuickUnionAdmitsBoth(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestQuickContainsFloatMatchesConjunction: membership in the interval built
+// by folding a random conjunction of numeric selection predicates must equal
+// evaluating every predicate in turn — the contract the broker matching
+// index compiles subscriptions under.
+func TestQuickContainsFloatMatchesConjunction(t *testing.T) {
+	ops := []Op{Eq, Ne, Lt, Le, Gt, Ge}
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 17))
+		var preds []Predicate
+		iv := FullInterval()
+		for i := 0; i < 1+r.IntN(4); i++ {
+			p := selPred("", "a", ops[r.IntN(len(ops))], float64(r.IntN(11)-5))
+			preds = append(preds, p)
+			iv = iv.Constrain(p.Op, *p.Right.Lit)
+		}
+		for x := -8.0; x <= 8; x += 0.5 {
+			want := true
+			for _, p := range preds {
+				if !p.Op.Eval(stream.FloatVal(x).Compare(*p.Right.Lit)) {
+					want = false
+					break
+				}
+			}
+			if iv.ContainsFloat(x) != want {
+				t.Logf("seed %d: x=%v interval=%v want=%v", seed, x, iv, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContainsFloatStringConstraints(t *testing.T) {
+	iv := FullInterval().Constrain(Eq, stream.StringVal("x"))
+	if iv.ContainsFloat(3) {
+		t.Error("numeric value admitted by a string-equality constraint")
+	}
+	iv = FullInterval().Constrain(Ne, stream.StringVal("x"))
+	if !iv.ContainsFloat(3) {
+		t.Error("numeric value rejected by a string-disequality constraint")
+	}
+}
+
+func TestSelectionIntervalsByAttr(t *testing.T) {
+	preds := []Predicate{
+		selPred("", "a", Gt, 1),
+		selPred("", "a", Le, 5),
+		selPred("", "b", Eq, 2),
+		// Flipped literal-first form (2 > a) normalizes onto the same column.
+		{Left: selPred("", "a", Gt, 2).Right, Op: Gt, Right: selPred("", "a", Gt, 2).Left},
+	}
+	ivs := SelectionIntervalsByAttr(preds)
+	if len(ivs) != 2 {
+		t.Fatalf("intervals for %d attrs, want 2", len(ivs))
+	}
+	a := ivs["a"]
+	if a.ContainsFloat(1) || !a.ContainsFloat(1.5) || a.ContainsFloat(2) || a.ContainsFloat(6) {
+		t.Errorf("interval for a = %v, want (1,2)", a)
+	}
+	if b := ivs["b"]; !b.ContainsFloat(2) || b.ContainsFloat(3) {
+		t.Errorf("interval for b = %v, want [2,2]", b)
+	}
+}
+
+func TestNumericSelection(t *testing.T) {
+	if _, ok := NumericSelection(selPred("", "a", Gt, 1)); !ok {
+		t.Error("numeric selection rejected")
+	}
+	// Literal-first form compiles via normalization, flipping the op.
+	flip := Predicate{Left: selPred("", "a", Gt, 3).Right, Op: Lt, Right: selPred("", "a", Gt, 3).Left}
+	n, ok := NumericSelection(flip)
+	if !ok || n.Op != Gt || n.Left.Col == nil {
+		t.Errorf("flipped selection normalized to %v ok=%v", n, ok)
+	}
+	slit := stream.StringVal("x")
+	if _, ok := NumericSelection(Predicate{
+		Left: Operand{Col: &ColRef{Attr: "a"}}, Op: Eq, Right: Operand{Lit: &slit},
+	}); ok {
+		t.Error("string-literal selection accepted as numeric")
+	}
+	join := Predicate{
+		Left:  Operand{Col: &ColRef{Alias: "L", Attr: "x"}},
+		Op:    Eq,
+		Right: Operand{Col: &ColRef{Alias: "R", Attr: "x"}},
+	}
+	if _, ok := NumericSelection(join); ok {
+		t.Error("join predicate accepted as numeric selection")
+	}
+	nan := stream.FloatVal(math.NaN())
+	if _, ok := NumericSelection(Predicate{
+		Left: Operand{Col: &ColRef{Attr: "a"}}, Op: Lt, Right: Operand{Lit: &nan},
+	}); ok {
+		t.Error("NaN-literal selection accepted (intervals cannot express cmp==0-against-NaN)")
 	}
 }
