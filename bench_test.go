@@ -266,7 +266,12 @@ func BenchmarkBrokerRoute(b *testing.B) {
 			name   string
 			linear bool
 		}{{"indexed", false}, {"linear", true}} {
-			b.Run(fmt.Sprintf("%s-%d", mode.name, n), func(b *testing.B) {
+			// '=' instead of '-' before the count: a trailing
+			// "-<digits>" in a sub-benchmark name is indistinguishable
+			// from the -GOMAXPROCS suffix (omitted on 1-CPU runners)
+			// in bench output, which would make cmd/benchcheck
+			// collapse the count variants into one entry.
+			b.Run(fmt.Sprintf("%s/subs=%d", mode.name, n), func(b *testing.B) {
 				benchBrokerRoute(b, n, mode.linear)
 			})
 		}
@@ -337,6 +342,78 @@ func benchBrokerRoute(b *testing.B, nSubs int, linear bool) {
 	b.StopTimer()
 	if delivered == 0 {
 		b.Fatal("no deliveries: benchmark not exercising the match path")
+	}
+}
+
+// BenchmarkBrokerChurn measures the routing-state lifecycle cost — the
+// control-path work a dynamic workload pays per subscription change. Each
+// operation is one Subscribe (propagation + recording at both brokers) plus
+// one Unsubscribe (retraction along the path, with the un-suppression scan
+// over the surviving population) against a broker pair preloaded with N
+// stable subscriptions over 64 streams.
+func BenchmarkBrokerChurn(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("subs=%d", n), func(b *testing.B) {
+			benchBrokerChurn(b, n)
+		})
+	}
+}
+
+func benchBrokerChurn(b *testing.B, nSubs int) {
+	g := topology.NewGraph(2)
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		b.Fatal(err)
+	}
+	net, err := pubsub.NewNetwork(topology.NewOracle(g), []topology.NodeID{0, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, _ := net.Broker(0)
+	dst, _ := net.Broker(1)
+	const streams = 64
+	streamName := func(s int) string { return fmt.Sprintf("S%02d", s) }
+	for s := 0; s < streams; s++ {
+		src.Advertise(streamName(s))
+	}
+	mkFilter := func(op query.Op, v float64) query.Predicate {
+		lit := stream.FloatVal(v)
+		return query.Predicate{
+			Left:  query.Operand{Col: &query.ColRef{Attr: "a"}},
+			Op:    op,
+			Right: query.Operand{Lit: &lit},
+		}
+	}
+	// Stable population: pairwise non-covering window filters, so every
+	// subscription propagates and stays recorded at the publisher.
+	for i := 0; i < nSubs; i++ {
+		k := float64(i / streams)
+		sub := &pubsub.Subscription{
+			ID:      fmt.Sprintf("s%d", i),
+			Streams: []string{streamName(i % streams)},
+			Filters: []query.Predicate{mkFilter(query.Ge, k), mkFilter(query.Lt, k+2)},
+		}
+		if err := dst.Subscribe(sub, func(*pubsub.Subscription, stream.Tuple) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A window beyond the stable population: covered by nothing,
+		// covering nothing.
+		k := float64(nSubs/streams + 10 + i%7)
+		sub := &pubsub.Subscription{
+			ID:      "churn",
+			Streams: []string{streamName(i % streams)},
+			Filters: []query.Predicate{mkFilter(query.Ge, k), mkFilter(query.Lt, k+2)},
+		}
+		if err := dst.Subscribe(sub, func(*pubsub.Subscription, stream.Tuple) {}); err != nil {
+			b.Fatal(err)
+		}
+		dst.Unsubscribe("churn")
+	}
+	b.StopTimer()
+	if remote, _ := src.RoutingStateSize(); remote != nSubs {
+		b.Fatalf("publisher records %d subscriptions after churn, want %d", remote, nSubs)
 	}
 }
 

@@ -1,0 +1,163 @@
+// Command benchcheck guards CI against gross benchmark regressions: it
+// parses `go test -bench` output, takes the best (minimum) ns/op per
+// benchmark across repetitions (-count > 1 recommended — the minimum is
+// far less noisy than the mean on shared runners), and compares each
+// guarded benchmark against the recorded baseline in BENCH_BASELINE.json
+// with a generous tolerance multiplier.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkBrokerRoute -count 2 . | tee bench.txt
+//	go run ./cmd/benchcheck -baseline BENCH_BASELINE.json -tolerance 4 bench.txt
+//
+// The baseline file's top-level "guard" object maps benchmark names (as
+// printed by the testing package, without the trailing -GOMAXPROCS
+// suffix) to {"ns_per_op": <recorded>}. A run fails when the observed
+// minimum exceeds recorded*tolerance. Guarded benchmarks absent from the
+// input only warn: jobs may guard different subsets.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// guardEntry is one guarded benchmark in BENCH_BASELINE.json.
+type guardEntry struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	Note    string  `json:"note,omitempty"`
+}
+
+// benchLine matches one testing-package benchmark result line, e.g.
+// "BenchmarkBrokerRoute/indexed-1000-2   300000   3927 ns/op   12 B/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+)\s+ns/op`)
+
+// parseBench extracts the minimum ns/op per benchmark name (the trailing
+// -GOMAXPROCS suffix stripped) from bench output.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	min := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchcheck: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		name := m[1]
+		if cur, ok := min[name]; !ok || ns < cur {
+			min[name] = ns
+		}
+	}
+	return min, sc.Err()
+}
+
+// check compares observed minima against the guard with the given
+// tolerance multiplier, returning regression messages and missing-bench
+// warnings, both in sorted guard order.
+func check(guard map[string]guardEntry, observed map[string]float64, tolerance float64) (regressions, missing []string) {
+	names := make([]string, 0, len(guard))
+	for name := range guard {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := guard[name]
+		got, ok := observed[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		limit := g.NsPerOp * tolerance
+		if got > limit {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f ns/op exceeds %.0f (baseline %.0f × tolerance %.1f)",
+				name, got, limit, g.NsPerOp, tolerance))
+		}
+	}
+	return regressions, missing
+}
+
+func run(baselinePath string, tolerance float64, inputs []string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var baseline struct {
+		Guard map[string]guardEntry `json:"guard"`
+	}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("benchcheck: parse %s: %w", baselinePath, err)
+	}
+	if len(baseline.Guard) == 0 {
+		return fmt.Errorf("benchcheck: %s has no guard entries", baselinePath)
+	}
+	observed := make(map[string]float64)
+	for _, path := range inputs {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		part, err := parseBench(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		for name, ns := range part {
+			if cur, ok := observed[name]; !ok || ns < cur {
+				observed[name] = ns
+			}
+		}
+	}
+	if len(observed) == 0 {
+		return fmt.Errorf("benchcheck: no benchmark results found in %v", inputs)
+	}
+	regressions, missing := check(baseline.Guard, observed, tolerance)
+	for _, name := range missing {
+		fmt.Printf("benchcheck: warning: guarded benchmark %s not in input\n", name)
+	}
+	names := make([]string, 0, len(observed))
+	for name := range observed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		status := "unguarded"
+		if g, ok := baseline.Guard[name]; ok {
+			status = fmt.Sprintf("baseline %.0f, limit %.0f", g.NsPerOp, g.NsPerOp*tolerance)
+		}
+		fmt.Printf("benchcheck: %-48s %12.0f ns/op  (%s)\n", name, observed[name], status)
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "benchcheck: REGRESSION: %s\n", r)
+		}
+		return fmt.Errorf("benchcheck: %d benchmark(s) regressed", len(regressions))
+	}
+	fmt.Println("benchcheck: all guarded benchmarks within tolerance")
+	return nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_BASELINE.json", "baseline JSON with a top-level guard object")
+	tolerance := flag.Float64("tolerance", 4.0, "allowed slowdown multiplier over the recorded baseline")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-baseline file] [-tolerance x] benchoutput...")
+		os.Exit(2)
+	}
+	if err := run(*baseline, *tolerance, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

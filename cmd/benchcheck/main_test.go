@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkBrokerRoute/indexed-1000-2         	  300000	      4100 ns/op
+BenchmarkBrokerRoute/indexed-1000-2         	  310000	      3950 ns/op
+BenchmarkBrokerRoute/indexed-10000-2        	   50000	     21000 ns/op
+BenchmarkFig6RunningTime-2                  	       5	 120000000 ns/op	        36.0 cen-ms
+PASS
+`
+
+func TestParseBenchTakesMinAndStripsProcs(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkBrokerRoute/indexed-1000":  3950,
+		"BenchmarkBrokerRoute/indexed-10000": 21000,
+		"BenchmarkFig6RunningTime":           120000000,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func TestCheckFlagsOnlyGrossRegressions(t *testing.T) {
+	guard := map[string]guardEntry{
+		"BenchmarkBrokerRoute/indexed-1000": {NsPerOp: 4000},
+		"BenchmarkFig6RunningTime":          {NsPerOp: 115000000},
+		"BenchmarkNotRun":                   {NsPerOp: 1},
+	}
+	observed := map[string]float64{
+		"BenchmarkBrokerRoute/indexed-1000": 15000,     // 3.75x: inside 4x tolerance
+		"BenchmarkFig6RunningTime":          700000000, // ~6x: regression
+	}
+	regressions, missing := check(guard, observed, 4.0)
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "BenchmarkFig6RunningTime") {
+		t.Fatalf("regressions = %v, want exactly the Fig6 entry", regressions)
+	}
+	if len(missing) != 1 || missing[0] != "BenchmarkNotRun" {
+		t.Fatalf("missing = %v, want [BenchmarkNotRun]", missing)
+	}
+}
+
+func TestCheckPassesAtBaseline(t *testing.T) {
+	guard := map[string]guardEntry{"BenchmarkX": {NsPerOp: 1000}}
+	regressions, missing := check(guard, map[string]float64{"BenchmarkX": 1000}, 4.0)
+	if len(regressions) != 0 || len(missing) != 0 {
+		t.Fatalf("regressions=%v missing=%v, want none", regressions, missing)
+	}
+}

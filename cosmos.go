@@ -11,6 +11,16 @@
 // superset query whose shared result stream is split back per user with
 // residual subscriptions (§2.1).
 //
+// The deployment is dynamic: streams may be registered after Start (the
+// source broker joins the running overlay and its advertisement
+// re-propagates existing subscriptions toward it), queries may be submitted
+// and cancelled at any time (cancellation retracts the routing state the
+// query's subscriptions installed across the overlay), and Adapt migrates
+// queries between processors at runtime. The Pub/Sub substrate's
+// routing-state lifecycle (internal/pubsub) keeps filtering exact under
+// this churn: no ordering of advertise/subscribe/unsubscribe loses
+// deliveries or leaves stale forwarding state behind.
+//
 // Typical use:
 //
 //	m, _ := cosmos.New(graph, processors, cosmos.Config{})
@@ -20,6 +30,8 @@
 //	m.Start()
 //	m.Publish(tuple)            // at sources, via the Pub/Sub
 //	m.Adapt()                   // periodic runtime re-optimization
+//	m.RegisterStream(...)       // late stream: joins the live overlay
+//	h.Cancel()                  // done: engine + routing state torn down
 package cosmos
 
 import (
@@ -61,6 +73,10 @@ type Config struct {
 	// ablation; forwarding decisions and traffic are identical either
 	// way, only matching throughput differs).
 	LinearMatch bool
+	// Workers bounds the goroutines used by the hierarchical
+	// distribution passes (0 selects GOMAXPROCS, 1 runs sequentially;
+	// placements are identical for any value).
+	Workers int
 }
 
 // StreamDef declares a source stream.
@@ -96,6 +112,10 @@ type Middleware struct {
 
 	subRates    []float64
 	sourceOfSub []NodeID
+	// optDim freezes the optimizer's interest-vector dimension at Start:
+	// substreams registered later are routed by the Pub/Sub but carry no
+	// interest bits until a future full redistribution.
+	optDim int
 
 	// inSubs tracks each processor's active input-subscription IDs.
 	inSubs map[NodeID][]string
@@ -132,14 +152,18 @@ func New(g *topology.Graph, processors []NodeID, cfg Config) (*Middleware, error
 	}, nil
 }
 
-// RegisterStream declares a source stream. All streams must be registered
-// before Start.
+// RegisterStream declares a source stream. Streams registered before Start
+// are batch-wired by it; a stream registered on a running middleware joins
+// dynamically: its source broker attaches to the live overlay (a new MST
+// leaf link) and the advertisement floods, re-propagating any existing
+// subscriptions toward the new publisher, so queries submitted afterwards —
+// or already waiting on the stream name — route correctly. Substreams
+// registered after Start are routed exactly by the Pub/Sub but do not
+// contribute optimizer interest bits until the next full redistribution
+// (the coordinator tree's interest dimension is frozen at Start).
 func (m *Middleware) RegisterStream(def StreamDef) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.started {
-		return fmt.Errorf("cosmos: cannot register streams after Start")
-	}
 	if def.Substreams <= 0 {
 		def.Substreams = 1
 	}
@@ -158,6 +182,10 @@ func (m *Middleware) RegisterStream(def StreamDef) error {
 		}
 		m.subRates = append(m.subRates, def.RatePerSubstream)
 		m.sourceOfSub = append(m.sourceOfSub, def.Source)
+	}
+	if m.started {
+		b := m.net.AddBroker(def.Source)
+		b.Advertise(def.Name)
 	}
 	return nil
 }
@@ -189,6 +217,73 @@ func (h *QueryHandle) Delivered() int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.delivered
+}
+
+// Cancel withdraws the query from the middleware: the user-side result
+// subscription is unsubscribed at the proxy (retracting its routing state
+// across the overlay), the query is removed from its processor's engine,
+// and the processor's input subscriptions are recomputed from the queries
+// that remain — shrinking or retracting the pushed-down union filters.
+// Cancelling a handle that was already cancelled is a no-op and reports
+// success, as does cancelling before Start (the query simply leaves the
+// pending batch).
+//
+// Known limitation: the coordinator tree keeps the cancelled query's load
+// estimate until the next full redistribution (the hierarchy has no
+// removal operation yet — see ROADMAP), so sustained submit/cancel churn
+// slowly pads the optimizer's load picture; routing and deliveries are
+// unaffected.
+func (h *QueryHandle) Cancel() error {
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.handles[h.Name]; !ok {
+		return nil // already cancelled: idempotent
+	}
+	delete(m.handles, h.Name)
+	delete(m.residuals, h.Name)
+	h.mu.Lock()
+	proc := h.processor
+	h.processor = -1
+	h.mu.Unlock()
+	if !m.started {
+		return nil
+	}
+	if pb, ok := m.net.Broker(h.Proxy); ok {
+		pb.Unsubscribe("user/" + h.Name)
+	}
+	if proc >= 0 {
+		if err := m.rewire(proc); err != nil {
+			return err
+		}
+		// Rewiring regroups the survivors at the processor: a query
+		// that shared a superset with the cancelled one now feeds from
+		// a different merged query (different result tag and
+		// residual), so its user-side subscription must be rebuilt —
+		// exactly as Adapt does after migrations.
+		names := make([]string, 0, len(m.handles))
+		for name, other := range m.handles {
+			if other.processor == proc {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if err := m.wireUserSide(m.handles[name]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Cancelled reports whether the query has been withdrawn.
+func (h *QueryHandle) Cancelled() bool {
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.handles[h.Name]
+	return !ok
 }
 
 // Submit parses and registers a continuous query whose results are
@@ -241,7 +336,11 @@ func (m *Middleware) Submit(cql string, proxy NodeID, sink func(Tuple)) (*QueryH
 // compile derives the optimizer's view of a query: substream interest over
 // its FROM streams, load and result-rate estimates.
 func (m *Middleware) compile(q *query.Query, proxy NodeID) (querygraph.QueryInfo, error) {
-	interest := bitvec.New(len(m.subRates))
+	dim := len(m.subRates)
+	if m.started {
+		dim = m.optDim
+	}
+	interest := bitvec.New(dim)
 	var inputRate float64
 	for _, name := range q.StreamNames() {
 		s, ok := m.registry.Lookup(name)
@@ -326,8 +425,10 @@ func (m *Middleware) Start() error {
 	}
 
 	// Distribute the batch.
+	m.optDim = len(m.subRates)
 	tree, err := hierarchy.Build(m.oracle, m.procs, nil, hierarchy.Config{
 		K: m.cfg.K, VMax: m.cfg.VMax, Alpha: m.cfg.Alpha, Seed: m.cfg.Seed,
+		Workers: m.cfg.Workers,
 	})
 	if err != nil {
 		return err

@@ -175,3 +175,190 @@ func TestOnlineSubmitAfterStart(t *testing.T) {
 		t.Fatalf("online query delivered %d results, want 1", len(got))
 	}
 }
+
+// TestRegisterStreamAfterStart registers a stream on a running middleware:
+// its source broker joins the live overlay, the advertisement floods, and a
+// query submitted afterwards delivers end to end.
+func TestRegisterStreamAfterStart(t *testing.T) {
+	g, procs := testTopology(t)
+	m, err := New(g, procs[:3], Config{K: 2, VMax: 10, Seed: 5})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := m.RegisterStream(StreamDef{
+		Name: "Station1", Schema: stationSchema(), Source: procs[4], Substreams: 2, RatePerSubstream: 5,
+	}); err != nil {
+		t.Fatalf("RegisterStream: %v", err)
+	}
+	if _, err := m.Submit(`SELECT * FROM Station1 [Now] WHERE snowHeight > 100`, procs[0], nil); err != nil {
+		t.Fatalf("Submit warmup: %v", err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+
+	// procs[5] was not part of the overlay at Start: the broker joins
+	// dynamically.
+	if err := m.RegisterStream(StreamDef{
+		Name: "Station2", Schema: stationSchema(), Source: procs[5], Substreams: 1, RatePerSubstream: 3,
+	}); err != nil {
+		t.Fatalf("RegisterStream after Start: %v", err)
+	}
+	var got []Tuple
+	if _, err := m.Submit(`SELECT * FROM Station2 [Now] WHERE snowHeight > 5`,
+		procs[1], func(t Tuple) { got = append(got, t) }); err != nil {
+		t.Fatalf("Submit on late stream: %v", err)
+	}
+	for _, snow := range []float64{9, 2} { // second reading filtered out
+		err := m.Publish(Tuple{
+			Stream:    "Station2",
+			Timestamp: 1000,
+			Attrs:     map[string]stream.Value{"snowHeight": stream.FloatVal(snow)},
+		})
+		if err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+	}
+	if len(got) != 1 {
+		t.Fatalf("late-stream query delivered %d results, want 1", len(got))
+	}
+}
+
+// TestCancelQuery: cancelling a handle stops deliveries, retracts the
+// query's routing state across the overlay, leaves co-located queries
+// intact, and is idempotent.
+func TestCancelQuery(t *testing.T) {
+	g, procs := testTopology(t)
+	m, err := New(g, procs[:3], Config{K: 2, VMax: 10, Seed: 5})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := m.RegisterStream(StreamDef{
+		Name: "Station1", Schema: stationSchema(), Source: procs[4], Substreams: 2, RatePerSubstream: 5,
+	}); err != nil {
+		t.Fatalf("RegisterStream: %v", err)
+	}
+	var gotA, gotB []Tuple
+	ha, err := m.Submit(`SELECT * FROM Station1 [Now] WHERE snowHeight > 5`,
+		procs[0], func(t Tuple) { gotA = append(gotA, t) })
+	if err != nil {
+		t.Fatalf("Submit A: %v", err)
+	}
+	hb, err := m.Submit(`SELECT * FROM Station1 [Now] WHERE snowHeight > 7`,
+		procs[1], func(t Tuple) { gotB = append(gotB, t) })
+	if err != nil {
+		t.Fatalf("Submit B: %v", err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	pub := func(snow float64) {
+		t.Helper()
+		err := m.Publish(Tuple{
+			Stream:    "Station1",
+			Timestamp: 1000,
+			Attrs:     map[string]stream.Value{"snowHeight": stream.FloatVal(snow)},
+		})
+		if err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+	}
+	pub(9)
+	if len(gotA) != 1 || len(gotB) != 1 {
+		t.Fatalf("pre-cancel deliveries A=%d B=%d, want 1/1", len(gotA), len(gotB))
+	}
+
+	if err := ha.Cancel(); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	if !ha.Cancelled() || hb.Cancelled() {
+		t.Fatalf("cancelled flags: A=%v B=%v, want true/false", ha.Cancelled(), hb.Cancelled())
+	}
+	if err := ha.Cancel(); err != nil {
+		t.Fatalf("second Cancel must be an idempotent no-op, got %v", err)
+	}
+	pub(9)
+	if len(gotA) != 1 {
+		t.Errorf("cancelled query still delivered: %d results", len(gotA))
+	}
+	if len(gotB) != 2 {
+		t.Errorf("surviving query deliveries = %d, want 2", len(gotB))
+	}
+	if _, ok := m.Placement()[ha.Name]; ok {
+		t.Error("cancelled query still placed")
+	}
+
+	// Cancelling the last query drains every broker's routing state:
+	// no input subscriptions, no user-side result subscriptions, no
+	// remote records anywhere.
+	if err := hb.Cancel(); err != nil {
+		t.Fatalf("Cancel B: %v", err)
+	}
+	for _, n := range m.net.Nodes() {
+		b, _ := m.net.Broker(n)
+		if remote, local := b.RoutingStateSize(); remote != 0 || local != 0 {
+			t.Errorf("broker %d retains routing state after last cancel: remote=%d local=%d", n, remote, local)
+		}
+	}
+	pub(9)
+	if len(gotB) != 2 {
+		t.Errorf("deliveries after full cancel = %d, want 2", len(gotB))
+	}
+}
+
+// TestCancelColocatedMergedQuery: on a single processor the two queries
+// share one superset query (§2.1). Cancelling one regroups the survivor
+// under a NEW superset (different result tag and residual), so Cancel must
+// rebuild the survivor's user-side subscription — a survivor left filtering
+// on the old tag would starve.
+func TestCancelColocatedMergedQuery(t *testing.T) {
+	g, procs := testTopology(t)
+	m, err := New(g, procs[:1], Config{K: 2, VMax: 10, Seed: 5})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := m.RegisterStream(StreamDef{
+		Name: "Station1", Schema: stationSchema(), Source: procs[4], Substreams: 2, RatePerSubstream: 5,
+	}); err != nil {
+		t.Fatalf("RegisterStream: %v", err)
+	}
+	var gotA, gotB []Tuple
+	ha, err := m.Submit(`SELECT * FROM Station1 [Now] WHERE snowHeight > 5`,
+		procs[0], func(t Tuple) { gotA = append(gotA, t) })
+	if err != nil {
+		t.Fatalf("Submit A: %v", err)
+	}
+	_, err = m.Submit(`SELECT * FROM Station1 [Now] WHERE snowHeight > 7`,
+		procs[0], func(t Tuple) { gotB = append(gotB, t) })
+	if err != nil {
+		t.Fatalf("Submit B: %v", err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	pub := func(snow float64) {
+		t.Helper()
+		err := m.Publish(Tuple{
+			Stream:    "Station1",
+			Timestamp: 1000,
+			Attrs:     map[string]stream.Value{"snowHeight": stream.FloatVal(snow)},
+		})
+		if err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+	}
+	pub(9)
+	if len(gotA) != 1 || len(gotB) != 1 {
+		t.Fatalf("pre-cancel deliveries A=%d B=%d, want 1/1", len(gotA), len(gotB))
+	}
+	if err := ha.Cancel(); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	pub(9)
+	if len(gotB) != 2 {
+		t.Fatalf("surviving merged query deliveries = %d, want 2 (user-side subscription must be rebuilt)", len(gotB))
+	}
+	if len(gotA) != 1 {
+		t.Errorf("cancelled query still delivered: %d results", len(gotA))
+	}
+}

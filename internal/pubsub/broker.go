@@ -12,7 +12,7 @@ import (
 // Handler consumes tuples delivered to a local subscriber.
 type Handler func(sub *Subscription, t stream.Tuple)
 
-// Peer is the broker-to-broker protocol: the three message kinds that cross
+// Peer is the broker-to-broker protocol: the four message kinds that cross
 // overlay links. In-process networks implement it with direct calls;
 // transport adapters (e.g. the TCP transport) implement it over the wire.
 type Peer interface {
@@ -21,6 +21,10 @@ type Peer interface {
 	AdvertFrom(from topology.NodeID, streamName string)
 	// PropagateFrom delivers a subscription arriving from a neighbor.
 	PropagateFrom(sub *Subscription, from topology.NodeID)
+	// RetractFrom delivers an unsubscription arriving from a neighbor:
+	// the subscription with the given ID (at sequence number seq or
+	// older) is withdrawn from the direction of 'from'.
+	RetractFrom(from topology.NodeID, id string, seq uint64)
 	// RouteFrom delivers a data tuple arriving from a neighbor.
 	RouteFrom(t stream.Tuple, from topology.NodeID)
 }
@@ -35,39 +39,42 @@ type Fabric interface {
 	CountData(from, to topology.NodeID, size int)
 }
 
-// AdvertFrom, PropagateFrom and RouteFrom make *Broker itself a Peer, so
-// in-process fabrics hand brokers out directly.
+// AdvertFrom, PropagateFrom, RetractFrom and RouteFrom make *Broker itself a
+// Peer, so in-process fabrics hand brokers out directly.
 func (b *Broker) AdvertFrom(from topology.NodeID, streamName string) { b.advertFrom(from, streamName) }
 
 // PropagateFrom implements Peer.
 func (b *Broker) PropagateFrom(sub *Subscription, from topology.NodeID) { b.propagate(sub, from) }
+
+// RetractFrom implements Peer.
+func (b *Broker) RetractFrom(from topology.NodeID, id string, seq uint64) {
+	b.retractFrom(from, id, seq)
+}
 
 // RouteFrom implements Peer.
 func (b *Broker) RouteFrom(t stream.Tuple, from topology.NodeID) { b.route(t, from) }
 
 var _ Peer = (*Broker)(nil)
 
-// localSub is a client subscription attached to a broker.
-type localSub struct {
-	sub     *Subscription
-	handler Handler
-	// sentTo records the neighbors this subscription was actually
-	// propagated to. Covering suppression of a later local subscription
-	// toward neighbor n is sound only when the covering one was sent to n
-	// — a local subscription registered before the relevant adverts
-	// arrived was sent nowhere and must not suppress anything. The map is
-	// shared with the compiled index entry and mutated under Broker.mu.
-	sentTo map[topology.NodeID]bool
-}
-
 // Broker is one overlay node of the Pub/Sub network. Brokers are wired into
 // an acyclic overlay by Network; all routing state is per-neighbor:
 //
 //   - adverts[n] holds the streams advertised from direction n, guiding
 //     subscription propagation (Fig 2(a));
-//   - subs[n] holds the subscriptions received from direction n, i.e. the
-//     interests living "behind" that neighbor (Fig 2(c)); a message is
-//     forwarded to n only when one of them matches (Fig 2(d)).
+//   - idx.dirs[n] holds the subscriptions received from direction n, i.e.
+//     the interests living "behind" that neighbor (Fig 2(c)); a message is
+//     forwarded to n only when one of them matches (Fig 2(d));
+//   - idx.locals holds this broker's client subscriptions.
+//
+// Routing state is dynamic (the lifecycle subsystem): every recorded
+// subscription tracks the neighbors it was actually propagated to (sentTo)
+// and the epoch it was issued in (seq). When a new advert direction is
+// learned, the broker replays the matching posting list toward it
+// (re-propagation), so subscribe-before-advertise orderings route
+// correctly; when a subscription is withdrawn, a retraction follows the
+// sentTo edges removing the remote records and un-suppressing any
+// subscription the removed one was covering. Sequence numbers make
+// duplicate floods and stale retractions no-ops.
 type Broker struct {
 	Node topology.NodeID
 
@@ -75,22 +82,27 @@ type Broker struct {
 	net       Fabric
 	neighbors []topology.NodeID
 	adverts   map[topology.NodeID]map[string]bool
-	subs      map[topology.NodeID][]*Subscription
-	locals    []localSub
 	// published advertisements by this broker's clients.
 	ownAdverts map[string]bool
 
-	// idx mirrors subs and locals as the matching/forwarding index (see
-	// index.go); it is maintained incrementally under mu.
+	// idx is the authoritative routing state: one dirIndex per neighbor
+	// direction plus one for local client subscriptions, maintained
+	// incrementally under mu (see index.go).
 	idx *matchIndex
 	// linearMatch routes and suppresses with the retained linear
-	// reference matcher instead of the index. The two are equivalent
-	// bit-for-bit (equivalence tests); the linear path is the reference
-	// implementation and the pre-index benchmark baseline.
+	// reference matcher instead of the posting-list/compiled-filter
+	// index. The two are equivalent bit-for-bit (equivalence tests); the
+	// linear path is the reference implementation and the pre-index
+	// benchmark baseline.
 	linearMatch bool
 	// matchScratch collects per-neighbor matched candidates under mu,
 	// avoiding a per-tuple allocation on the indexed path.
 	matchScratch []*compiledSub
+	// seq numbers the subscription epochs originated by this broker's
+	// clients: each Subscribe stamps the next value, so a re-subscribe
+	// of a reused ID supersedes the records (and outruns stale
+	// retractions) of the previous incarnation everywhere.
+	seq uint64
 }
 
 // NewBroker creates a broker wired to a fabric. Neighbors are added with
@@ -100,7 +112,6 @@ func NewBroker(net Fabric, node topology.NodeID) *Broker {
 		Node:       node,
 		net:        net,
 		adverts:    make(map[topology.NodeID]map[string]bool),
-		subs:       make(map[topology.NodeID][]*Subscription),
 		ownAdverts: make(map[string]bool),
 		idx:        newMatchIndex(),
 	}
@@ -118,14 +129,13 @@ func (b *Broker) SetLinearMatching(on bool) {
 
 // Advertise announces that this broker's clients will publish the given
 // stream. The advertisement floods the overlay so every broker learns the
-// direction toward the publisher.
+// direction toward the publisher; brokers holding subscriptions on the
+// stream re-propagate them toward it as the flood passes (advertFrom).
 //
 // Advert traffic is accounted at the SEND side, like subscription
 // propagation and data forwarding: every advert that crosses a link is
 // charged by its sender, including re-advertisements the receiver will
-// duplicate-suppress. (The accounting used to live at the receive side,
-// charged only for streams the receiver had not seen, so suppressed adverts
-// that still crossed the link went uncounted.)
+// duplicate-suppress.
 func (b *Broker) Advertise(streamName string) {
 	b.mu.Lock()
 	b.ownAdverts[streamName] = true
@@ -150,6 +160,7 @@ func (b *Broker) advertFrom(from topology.NodeID, streamName string) {
 	}
 	set[streamName] = true
 	neighbors := append([]topology.NodeID(nil), b.neighbors...)
+	resend := b.replayLocked(from, streamName)
 	b.mu.Unlock()
 	for _, n := range neighbors {
 		if n != from {
@@ -157,47 +168,217 @@ func (b *Broker) advertFrom(from topology.NodeID, streamName string) {
 			b.net.Peer(n).AdvertFrom(b.Node, streamName)
 		}
 	}
+	// Re-propagation epoch: replay the recorded subscriptions on the
+	// newly learned stream toward the advertiser. Each send was already
+	// marked in the record's sentTo under the lock, so a concurrent
+	// replay cannot duplicate it.
+	for _, sub := range resend {
+		b.net.CountControl(b.Node, from, subSize(sub))
+		b.net.Peer(from).PropagateFrom(sub, b.Node)
+	}
+}
+
+// replayLocked collects the subscriptions to re-propagate toward 'from'
+// after learning that it advertises streamName: every recorded subscription
+// listing the stream (from the per-direction posting lists) that was not
+// already sent that way and is not covered by one that was. Locals replay
+// first in registration order, then each other direction in ascending
+// neighbor order — the same order a from-scratch network would have
+// propagated them in. Caller holds b.mu.
+func (b *Broker) replayLocked(from topology.NodeID, streamName string) []*Subscription {
+	var out []*Subscription
+	consider := func(c *compiledSub) {
+		if c.sentTo[from] {
+			return
+		}
+		if b.coveredByLocalToward(from, c.sub) || b.coveredExcept(from, c.sub) {
+			return
+		}
+		c.sentTo[from] = true
+		out = append(out, c.sub)
+	}
+	for _, c := range b.idx.locals.byStream[streamName] {
+		consider(c)
+	}
+	for _, d := range sortedDirs(b.idx.dirs) {
+		if d == from {
+			continue
+		}
+		for _, c := range b.idx.dirs[d].byStream[streamName] {
+			consider(c)
+		}
+	}
+	return out
 }
 
 // Subscribe registers a local client subscription and propagates it toward
 // the advertised publishers, suppressing propagation covered by an earlier
-// subscription sent the same way (the p1∪p2 merge point of Fig 3).
+// subscription sent the same way (the p1∪p2 merge point of Fig 3). Streams
+// advertised only later are caught up by re-propagation epochs (advertFrom).
 func (b *Broker) Subscribe(sub *Subscription, h Handler) error {
 	if sub == nil || len(sub.Streams) == 0 {
 		return fmt.Errorf("pubsub: empty subscription")
 	}
 	b.mu.Lock()
-	l := localSub{sub: sub, handler: h, sentTo: make(map[topology.NodeID]bool)}
-	b.locals = append(b.locals, l)
+	exists := b.idx.locals.find(sub.ID) != nil
+	b.mu.Unlock()
+	if exists {
+		// Re-subscribing a live ID supersedes the old incarnation
+		// everywhere (the documented ID contract): retract it first so
+		// no broker — including this one — is left holding both.
+		b.Unsubscribe(sub.ID)
+	}
+	b.mu.Lock()
+	b.seq++
+	sub.Seq = b.seq
 	c := compileSub(sub, h)
-	c.sentTo = l.sentTo
+	c.seq = sub.Seq
+	c.sentTo = make(map[topology.NodeID]bool)
 	b.idx.locals.add(c)
 	b.mu.Unlock()
 	b.propagate(sub, -1)
 	return nil
 }
 
-// Unsubscribe removes a local client subscription by ID. Routing state at
-// other brokers is left in place (as in Siena, stale entries only cost
-// spurious forwarding and are cleaned by re-subscription epochs).
+// Unsubscribe withdraws a local client subscription by ID: the local record
+// is dropped, a retraction follows the propagation path removing the
+// routing state recorded for it at other brokers, and any subscription the
+// removed one was covering is re-propagated (un-suppressed) toward the
+// neighbors it was suppressed for. Unsubscribing an unknown ID — including
+// a second Unsubscribe of the same ID — is a no-op.
 func (b *Broker) Unsubscribe(id string) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	kept := b.locals[:0]
-	for _, l := range b.locals {
-		if l.sub.ID != id {
-			kept = append(kept, l)
+	removed := b.idx.locals.removeByID(id)
+	if len(removed) == 0 {
+		b.mu.Unlock()
+		return // unknown or already removed: explicit no-op
+	}
+	targetSet := make(map[topology.NodeID]bool)
+	var seq uint64
+	streams := make(map[string]bool)
+	for _, c := range removed {
+		for n := range c.sentTo {
+			targetSet[n] = true
+		}
+		if c.seq > seq {
+			seq = c.seq
+		}
+		for _, s := range c.sub.Streams {
+			streams[s] = true
 		}
 	}
-	b.locals = kept
-	b.idx.rebuildLocals(b.locals)
+	targets := sortedNodeSet(targetSet)
+	resend := b.unsuppressLocked(streams, targets)
+	b.mu.Unlock()
+	for _, n := range targets {
+		b.net.CountControl(b.Node, n, retractSize)
+		b.net.Peer(n).RetractFrom(b.Node, id, seq)
+	}
+	for _, s := range resend {
+		b.net.CountControl(b.Node, s.to, subSize(s.sub))
+		b.net.Peer(s.to).PropagateFrom(s.sub, b.Node)
+	}
 }
 
-// propagate forwards a subscription to every neighbor that advertises one
-// of its streams (except the neighbor it came from), unless a subscription
-// already forwarded from that direction covers it. Covering scans consult
-// the matching index: a covering subscription must list sub's first stream,
-// so only that posting list's candidates are examined.
+// retractFrom handles a retraction arriving from a neighbor: the record of
+// the subscription is removed, the retraction is forwarded along the
+// record's own propagation edges, and covered subscriptions un-suppress. A
+// retraction for an unknown ID, a duplicate retraction, or one older than
+// the recorded epoch (seq) is a no-op.
+func (b *Broker) retractFrom(from topology.NodeID, id string, seq uint64) {
+	b.mu.Lock()
+	d := b.idx.dir(from)
+	rec := d.find(id)
+	if rec == nil {
+		// The retraction overtook the propagation it chases (sends
+		// happen outside broker locks): leave a tombstone so the
+		// late-arriving record is dropped instead of being installed
+		// with no retraction ever coming. Nothing to forward — this
+		// broker never recorded, so it never propagated onward.
+		if ts, ok := d.retracted[id]; !ok || seq > ts {
+			d.retracted[id] = seq
+		}
+		b.mu.Unlock()
+		return
+	}
+	if rec.seq > seq {
+		b.mu.Unlock()
+		return // stale retraction: superseded by a newer epoch
+	}
+	d.remove(rec)
+	targets := sortedNodeSet(rec.sentTo)
+	streams := make(map[string]bool, len(rec.sub.Streams))
+	for _, s := range rec.sub.Streams {
+		streams[s] = true
+	}
+	resend := b.unsuppressLocked(streams, targets)
+	b.mu.Unlock()
+	for _, n := range targets {
+		b.net.CountControl(b.Node, n, retractSize)
+		b.net.Peer(n).RetractFrom(b.Node, id, seq)
+	}
+	for _, s := range resend {
+		b.net.CountControl(b.Node, s.to, subSize(s.sub))
+		b.net.Peer(s.to).PropagateFrom(s.sub, b.Node)
+	}
+}
+
+// pendSend is one subscription re-propagation decided under the lock and
+// sent after releasing it.
+type pendSend struct {
+	to  topology.NodeID
+	sub *Subscription
+}
+
+// unsuppressLocked re-runs the propagation decision for every remaining
+// subscription that the just-removed one (with the given stream set) may
+// have been covering, toward the neighbors it had been sent to: a covering
+// subscription only ever suppresses others on a subset of its own streams,
+// and only toward neighbors in its sentTo. Eligible subscriptions are
+// marked sent and returned for delivery outside the lock. Caller holds
+// b.mu (with the removed record already gone).
+func (b *Broker) unsuppressLocked(streams map[string]bool, targets []topology.NodeID) []pendSend {
+	if len(targets) == 0 {
+		return nil
+	}
+	var out []pendSend
+	consider := func(c *compiledSub, n topology.NodeID) {
+		if c.sentTo[n] || !c.listsAny(streams) {
+			return
+		}
+		if !b.advertisesAny(n, c.sub.Streams) {
+			return
+		}
+		if b.coveredByLocalToward(n, c.sub) || b.coveredExcept(n, c.sub) {
+			return
+		}
+		c.sentTo[n] = true
+		out = append(out, pendSend{to: n, sub: c.sub})
+	}
+	for _, n := range targets {
+		for _, c := range b.idx.locals.subs {
+			consider(c, n)
+		}
+		for _, d := range sortedDirs(b.idx.dirs) {
+			if d == n {
+				continue
+			}
+			for _, c := range b.idx.dirs[d].subs {
+				consider(c, n)
+			}
+		}
+	}
+	return out
+}
+
+// propagate records a subscription arriving from a neighbor (from >= 0) and
+// forwards it to every neighbor that advertises one of its streams (except
+// the neighbor it came from), unless a subscription already forwarded that
+// way covers it. Covering scans consult the matching index: a covering
+// subscription must list sub's first stream, so only that posting list's
+// candidates are examined. A re-delivery of an already recorded epoch
+// (same ID and direction, seq not newer) is dropped without re-flooding —
+// the duplicate suppression that keeps replay epochs from looping.
 func (b *Broker) propagate(sub *Subscription, from topology.NodeID) {
 	if sub == nil || len(sub.Streams) == 0 {
 		// Subscribe validates this, but PropagateFrom is also reachable
@@ -206,51 +387,65 @@ func (b *Broker) propagate(sub *Subscription, from topology.NodeID) {
 		return
 	}
 	b.mu.Lock()
+	var rec *compiledSub
 	if from >= 0 {
-		// Record the interest living behind 'from'.
-		if !b.coveredFrom(from, sub) {
-			clone := sub.Clone()
-			b.subs[from] = append(b.subs[from], clone)
-			b.idx.dir(from).add(compileSub(clone, nil))
+		d := b.idx.dir(from)
+		if ts, ok := d.retracted[sub.ID]; ok {
+			// Either way the tombstone is consumed: each (link,
+			// epoch) is propagated exactly once (sentTo is marked
+			// under the sender's lock before sending), so the
+			// suppressed arrival is the one it was waiting for, and
+			// a newer epoch supersedes it.
+			delete(d.retracted, sub.ID)
+			if sub.Seq <= ts {
+				b.mu.Unlock()
+				return // retraction overtook this propagation: obey it
+			}
+		}
+		if prev := d.find(sub.ID); prev != nil {
+			if sub.Seq <= prev.seq {
+				b.mu.Unlock()
+				return // duplicate or stale epoch: stop the flood
+			}
+			// Newer epoch of a reused ID: the fresh record replaces
+			// the old one and re-propagates from scratch.
+			d.remove(prev)
+		}
+		rec = compileSub(sub.Clone(), nil)
+		rec.seq = sub.Seq
+		rec.sentTo = make(map[topology.NodeID]bool)
+		d.add(rec)
+	} else {
+		// Locally originated: Subscribe already recorded it. The epoch
+		// must match — under a concurrent re-subscribe of the same ID
+		// the newest registration owns it, and sending this (older)
+		// payload while charging the newer record's sentTo would leave
+		// stale filters at the skipped neighbors forever.
+		rec = b.idx.locals.find(sub.ID)
+		if rec == nil || rec.seq != sub.Seq {
+			b.mu.Unlock()
+			return // unsubscribed or superseded since Subscribe
 		}
 	}
 	targets := make([]topology.NodeID, 0, len(b.neighbors))
 	for _, n := range b.neighbors {
-		if n == from {
+		if n == from || rec.sentTo[n] {
 			continue
 		}
 		if !b.advertisesAny(n, sub.Streams) {
 			continue
 		}
 		// Covering suppression: a DIFFERENT subscription covering this
-		// one already pulls a superset of its traffic toward n, so this
-		// one need not be sent there. A subscription recorded FROM the
-		// target direction cannot suppress (it was never sent toward n),
-		// and the subscription's own just-recorded clone must not
-		// suppress it, so identity is compared by ID. A locally-
-		// originated covering subscription suppresses only toward
-		// neighbors it was actually propagated to (its sentTo set):
-		// locals registered before the relevant adverts arrived were
-		// sent nowhere and guarantee nothing. (Locals used to be
-		// invisible here entirely, so a second local subscription
-		// covered by an earlier local one still flooded the overlay.)
+		// one that was actually propagated to n already pulls a
+		// superset of its traffic toward n, so this one need not be
+		// sent there. Suppression is gated on the covering record's
+		// own sentTo — a subscription recorded before the relevant
+		// adverts arrived was sent nowhere and guarantees nothing.
 		if b.coveredByLocalToward(n, sub) || b.coveredExcept(n, sub) {
 			continue
 		}
+		rec.sentTo[n] = true
 		targets = append(targets, n)
-	}
-	if from < 0 {
-		// Record where this local subscription is being sent; later
-		// covered subscriptions may suppress toward exactly these
-		// neighbors. The most recent registration owns the ID.
-		for i := len(b.locals) - 1; i >= 0; i-- {
-			if b.locals[i].sub.ID == sub.ID {
-				for _, n := range targets {
-					b.locals[i].sentTo[n] = true
-				}
-				break
-			}
-		}
 	}
 	b.mu.Unlock()
 	for _, n := range targets {
@@ -259,19 +454,15 @@ func (b *Broker) propagate(sub *Subscription, from topology.NodeID) {
 	}
 }
 
-// coveredFrom reports whether a subscription already recorded from direction
-// `from` covers sub.
-func (b *Broker) coveredFrom(from topology.NodeID, sub *Subscription) bool {
+// coveredByLocalToward reports whether a different local client
+// subscription that was actually propagated to neighbor n covers sub.
+func (b *Broker) coveredByLocalToward(n topology.NodeID, sub *Subscription) bool {
+	cands := b.idx.locals.coverCandidates(sub)
 	if b.linearMatch {
-		for _, s := range b.subs[from] {
-			if s.Covers(sub) {
-				return true
-			}
-		}
-		return false
+		cands = b.idx.locals.subs
 	}
-	for _, c := range b.idx.dir(from).coverCandidates(sub) {
-		if c.sub.Covers(sub) {
+	for _, c := range cands {
+		if c.sentTo[n] && c.sub.ID != sub.ID && c.sub.Covers(sub) {
 			return true
 		}
 	}
@@ -279,48 +470,20 @@ func (b *Broker) coveredFrom(from topology.NodeID, sub *Subscription) bool {
 }
 
 // coveredExcept reports whether a different subscription recorded from any
-// direction other than n covers sub.
+// direction other than n, and actually propagated to n, covers sub.
 func (b *Broker) coveredExcept(n topology.NodeID, sub *Subscription) bool {
-	if b.linearMatch {
-		for dir, lst := range b.subs {
-			if dir == n {
-				continue
-			}
-			for _, s := range lst {
-				if s.ID != sub.ID && s.Covers(sub) {
-					return true
-				}
-			}
-		}
-		return false
-	}
 	for dir, d := range b.idx.dirs {
 		if dir == n {
 			continue
 		}
-		for _, c := range d.coverCandidates(sub) {
-			if c.sub.ID != sub.ID && c.sub.Covers(sub) {
+		cands := d.coverCandidates(sub)
+		if b.linearMatch {
+			cands = d.subs
+		}
+		for _, c := range cands {
+			if c.sentTo[n] && c.sub.ID != sub.ID && c.sub.Covers(sub) {
 				return true
 			}
-		}
-	}
-	return false
-}
-
-// coveredByLocalToward reports whether a different local client
-// subscription that was actually propagated to neighbor n covers sub.
-func (b *Broker) coveredByLocalToward(n topology.NodeID, sub *Subscription) bool {
-	if b.linearMatch {
-		for _, l := range b.locals {
-			if l.sentTo[n] && l.sub.ID != sub.ID && l.sub.Covers(sub) {
-				return true
-			}
-		}
-		return false
-	}
-	for _, c := range b.idx.locals.coverCandidates(sub) {
-		if c.sentTo[n] && c.sub.ID != sub.ID && c.sub.Covers(sub) {
-			return true
 		}
 	}
 	return false
@@ -377,11 +540,9 @@ func (b *Broker) route(t stream.Tuple, from topology.NodeID) {
 
 	// Local deliveries run first, in subscription-registration order,
 	// outside the lock so handlers are free to call back into the broker.
-	// (They used to run via deferred calls: LIFO — the reverse of
-	// registration — and only after all forwarding.) A subscription that
-	// keeps every attribute gets its own copy of the attribute map so a
-	// handler mutating its tuple cannot corrupt the forwarded copies or a
-	// later handler's view.
+	// A subscription that keeps every attribute gets its own copy of the
+	// attribute map so a handler mutating its tuple cannot corrupt the
+	// forwarded copies or a later handler's view.
 	for _, d := range locals {
 		pt := projectAttrs(t, d.keep)
 		if d.keep == nil {
@@ -401,12 +562,13 @@ func (b *Broker) route(t stream.Tuple, from topology.NodeID) {
 
 // matchLinear is the reference matcher: every local subscription and every
 // recorded subscription of each outgoing direction is tested against the
-// tuple. Retained for the equivalence tests and the pre-index baseline.
+// tuple with the uncompiled Subscription.Matches walk. Retained for the
+// equivalence tests and the pre-index baseline.
 func (b *Broker) matchLinear(t stream.Tuple, from topology.NodeID) ([]delivery, []hop) {
 	var locals []delivery
-	for _, l := range b.locals {
-		if l.sub.Matches(t) && l.handler != nil {
-			locals = append(locals, delivery{h: l.handler, sub: l.sub, keep: keepSet(l.sub.Attrs)})
+	for _, c := range b.idx.locals.subs {
+		if c.sub.Matches(t) && c.handler != nil {
+			locals = append(locals, delivery{h: c.handler, sub: c.sub, keep: keepSet(c.sub.Attrs)})
 		}
 	}
 	var hops []hop
@@ -414,22 +576,26 @@ func (b *Broker) matchLinear(t stream.Tuple, from topology.NodeID) ([]delivery, 
 		if n == from {
 			continue
 		}
+		d, ok := b.idx.dirs[n]
+		if !ok {
+			continue
+		}
 		var wanted map[string]bool
 		interested := false
 		all := false
-		for _, s := range b.subs[n] {
-			if !s.Matches(t) {
+		for _, c := range d.subs {
+			if !c.sub.Matches(t) {
 				continue
 			}
 			interested = true
-			if s.Attrs == nil {
+			if c.sub.Attrs == nil {
 				all = true
 				break
 			}
 			if wanted == nil {
 				wanted = make(map[string]bool)
 			}
-			for _, a := range s.Attrs {
+			for _, a := range c.sub.Attrs {
 				wanted[a] = true
 			}
 		}
@@ -560,7 +726,74 @@ func (b *Broker) Neighbors() []topology.NodeID {
 	return out
 }
 
-const advertSize = 32
+// RoutingStateSize reports the broker's current routing-table population:
+// remote counts the subscriptions recorded per neighbor direction, local
+// the client subscriptions. Both drop to zero when every subscription in
+// the overlay has been withdrawn — the retraction-completeness invariant
+// tests assert.
+func (b *Broker) RoutingStateSize() (remote, local int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, d := range b.idx.dirs {
+		remote += len(d.subs)
+	}
+	return remote, len(b.idx.locals.subs)
+}
+
+// syncAdvertsTo replays every stream this broker knows to be advertised —
+// its own and those learned from other directions — toward one neighbor, in
+// sorted order. Used when a broker joins the overlay dynamically, so the
+// newcomer learns the full advert state of the network it attached to.
+func (b *Broker) syncAdvertsTo(n topology.NodeID) {
+	b.mu.Lock()
+	known := make(map[string]bool, len(b.ownAdverts))
+	for s := range b.ownAdverts {
+		known[s] = true
+	}
+	for d, set := range b.adverts {
+		if d == n {
+			continue
+		}
+		for s := range set {
+			known[s] = true
+		}
+	}
+	streams := make([]string, 0, len(known))
+	for s := range known {
+		streams = append(streams, s)
+	}
+	sort.Strings(streams)
+	b.mu.Unlock()
+	for _, s := range streams {
+		b.net.CountControl(b.Node, n, advertSize)
+		b.net.Peer(n).AdvertFrom(b.Node, s)
+	}
+}
+
+// sortedDirs returns the direction keys in ascending neighbor order, so
+// replay and un-suppression sweeps are deterministic.
+func sortedDirs(dirs map[topology.NodeID]*dirIndex) []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(dirs))
+	for d := range dirs {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedNodeSet(set map[topology.NodeID]bool) []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+const (
+	advertSize  = 32
+	retractSize = 40 // ID + epoch, no filter payload
+)
 
 func subSize(s *Subscription) int {
 	return 32 + 16*len(s.Streams) + 8*len(s.Attrs) + 24*len(s.Filters)

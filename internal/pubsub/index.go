@@ -8,12 +8,12 @@ import (
 	"repro/internal/topology"
 )
 
-// This file implements the broker-side matching/forwarding index: the same
-// inverted-index discipline the optimizer uses for query-graph edge
-// construction (internal/querygraph), applied to event routing. Every
-// subscription list a broker consults per tuple — the interests recorded per
-// neighbor direction and the local client subscriptions — is mirrored by a
-// dirIndex holding
+// This file implements the broker-side routing state and matching index:
+// the same inverted-index discipline the optimizer uses for query-graph
+// edge construction (internal/querygraph), applied to event routing. The
+// subscriptions a broker knows — the interests recorded per neighbor
+// direction and the local client subscriptions — live in one dirIndex per
+// direction holding
 //
 //   - stream → posting list (registration order), so a tuple is matched only
 //     against subscriptions that list its stream instead of every
@@ -24,15 +24,21 @@ import (
 //   - per (direction, stream), the incrementally maintained union of the
 //     subscriptions' attribute projections, so the common all-match case
 //     forwards with the precomputed union instead of rebuilding it per
-//     tuple.
+//     tuple;
+//   - per subscription, its lifecycle state: the epoch it was issued in
+//     (seq) and the neighbors it was actually propagated to (sentTo), which
+//     re-propagation replays and retraction cleanup walk.
 //
-// The index is maintained under Broker.mu at subscribe/propagate time and
-// reproduces the retained linear matcher bit-for-bit: identical forwarding
-// decisions, local delivery sets and orders, projection attribute sets, and
-// therefore identical traffic counters (enforced by the package equivalence
-// tests, the same discipline as querygraph.ComputeEdgesNaive).
+// The index is maintained under Broker.mu at subscribe/propagate/retract
+// time. The retained linear matcher iterates the same records (subs, in
+// registration order) but matches and checks covering with the uncompiled
+// per-subscription walks; the two are equivalent bit-for-bit: identical
+// forwarding decisions, local delivery sets and orders, projection
+// attribute sets, and therefore identical traffic counters (enforced by the
+// package equivalence tests, the same discipline as
+// querygraph.ComputeEdgesNaive).
 
-// matchIndex is one broker's matching state: one dirIndex per neighbor
+// matchIndex is one broker's routing state: one dirIndex per neighbor
 // direction plus one for local client subscriptions.
 type matchIndex struct {
 	locals *dirIndex
@@ -53,18 +59,6 @@ func (m *matchIndex) dir(n topology.NodeID) *dirIndex {
 	return d
 }
 
-// rebuildLocals recompiles the locals index after an unsubscribe, preserving
-// registration order and each subscription's propagation record.
-func (m *matchIndex) rebuildLocals(locals []localSub) {
-	d := newDirIndex()
-	for _, l := range locals {
-		c := compileSub(l.sub, l.handler)
-		c.sentTo = l.sentTo
-		d.add(c)
-	}
-	m.locals = d
-}
-
 // dirIndex indexes the subscriptions of one direction (a neighbor, or the
 // broker's locals).
 type dirIndex struct {
@@ -74,15 +68,26 @@ type dirIndex struct {
 	// per-subscription, not per-listing).
 	byStream map[string][]*compiledSub
 	// union holds the per-stream projection union, maintained
-	// incrementally on add. Published maps are immutable (copy-on-write):
-	// route hands them to in-flight hops outside the broker lock.
+	// incrementally on add and recomputed for the affected streams on
+	// remove. Published maps are immutable (copy-on-write): route hands
+	// them to in-flight hops outside the broker lock.
 	union map[string]*attrUnion
+	// retracted holds tombstones for retractions that arrived before
+	// the subscription they withdraw (ID → retracted epoch). Sends
+	// happen outside the broker lock, so a retraction can overtake the
+	// propagation it chases (concurrent brokers, or the asynchronous
+	// TCP transport); without the tombstone the late-arriving record
+	// would be installed with no retraction ever coming. A tombstone is
+	// consumed by the propagation it suppresses, or superseded by a
+	// newer epoch of the ID.
+	retracted map[string]uint64
 }
 
 func newDirIndex() *dirIndex {
 	return &dirIndex{
-		byStream: make(map[string][]*compiledSub),
-		union:    make(map[string]*attrUnion),
+		byStream:  make(map[string][]*compiledSub),
+		union:     make(map[string]*attrUnion),
+		retracted: make(map[string]uint64),
 	}
 }
 
@@ -99,6 +104,73 @@ func (d *dirIndex) add(c *compiledSub) {
 		d.byStream[s] = append(d.byStream[s], c)
 		d.union[s] = d.union[s].extend(c.keep)
 	}
+}
+
+// find returns the most recently added record with the given subscription
+// ID, or nil. Directions hold at most one record per ID (propagate replaces
+// on newer epochs); locals may briefly hold more when a client reuses an ID
+// without unsubscribing, and then the newest registration owns it.
+func (d *dirIndex) find(id string) *compiledSub {
+	for i := len(d.subs) - 1; i >= 0; i-- {
+		if d.subs[i].sub.ID == id {
+			return d.subs[i]
+		}
+	}
+	return nil
+}
+
+// remove deletes one record, keeping posting lists in registration order
+// and recomputing the projection unions of the affected streams. Posting
+// lists and unions of streams no longer subscribed are deleted outright, so
+// an idle broker's routing tables drain to empty.
+func (d *dirIndex) remove(c *compiledSub) {
+	for i, x := range d.subs {
+		if x == c {
+			d.subs = append(d.subs[:i], d.subs[i+1:]...)
+			break
+		}
+	}
+	seen := make(map[string]bool, len(c.sub.Streams))
+	for _, s := range c.sub.Streams {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		list := d.byStream[s]
+		for i, x := range list {
+			if x == c {
+				list = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+		if len(list) == 0 {
+			delete(d.byStream, s)
+			delete(d.union, s)
+			continue
+		}
+		d.byStream[s] = list
+		var u *attrUnion
+		for _, x := range list {
+			u = u.extend(x.keep)
+		}
+		d.union[s] = u
+	}
+}
+
+// removeByID removes every record with the given subscription ID and
+// returns them in registration order (empty when the ID is unknown — the
+// caller treats that as a no-op).
+func (d *dirIndex) removeByID(id string) []*compiledSub {
+	var removed []*compiledSub
+	for _, c := range d.subs {
+		if c.sub.ID == id {
+			removed = append(removed, c)
+		}
+	}
+	for _, c := range removed {
+		d.remove(c)
+	}
+	return removed
 }
 
 // coverCandidates returns the recorded subscriptions that could cover sub:
@@ -142,21 +214,40 @@ func (u *attrUnion) extend(keep map[string]bool) *attrUnion {
 	return next
 }
 
-// compiledSub is one subscription with its matching state precomputed: the
-// projection set as a lookup map and the filters partitioned into compiled
-// per-attribute interval groups (numeric selections) and a raw remainder
-// evaluated predicate-by-predicate.
+// compiledSub is one recorded subscription with its matching and lifecycle
+// state: the projection set as a lookup map, the filters partitioned into
+// compiled per-attribute interval groups (numeric selections) and a raw
+// remainder evaluated predicate-by-predicate, the issuing epoch, and the
+// propagation record.
 type compiledSub struct {
 	sub     *Subscription
 	handler Handler // locals only
-	// sentTo aliases the owning localSub's propagation record (locals
-	// only; nil for recorded neighbor subscriptions).
+	// seq is the epoch the subscription was issued in (Subscription.Seq
+	// at record time): a later incarnation of a reused ID carries a
+	// higher seq, superseding records and outrunning stale retractions.
+	seq uint64
+	// sentTo records the neighbors this subscription was actually
+	// propagated to. Covering suppression of another subscription toward
+	// neighbor n is sound only when the covering one was sent to n, and
+	// retraction follows exactly these edges. Mutated under Broker.mu.
 	sentTo map[topology.NodeID]bool
 	// keep mirrors sub.Attrs as a set: nil keeps every attribute; an empty
 	// non-nil map mirrors an explicitly empty projection list.
 	keep   map[string]bool
 	groups []attrGroup
 	raw    []query.Predicate
+}
+
+// listsAny reports whether the subscription lists any stream of the set —
+// the candidate filter of retraction un-suppression (a covering
+// subscription lists a superset of the covered one's streams).
+func (c *compiledSub) listsAny(streams map[string]bool) bool {
+	for _, s := range c.sub.Streams {
+		if streams[s] {
+			return true
+		}
+	}
+	return false
 }
 
 // attrGroup is the compiled conjunction of one attribute's numeric selection

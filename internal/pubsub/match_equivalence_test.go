@@ -25,6 +25,7 @@ const (
 	eqAdvertise = iota
 	eqSubscribe
 	eqPublish
+	eqUnsubscribe
 )
 
 type eqOp struct {
@@ -103,9 +104,12 @@ func eqRandomTuple(r *rand.Rand) stream.Tuple {
 	return t
 }
 
-// eqScenario draws a full randomized workload: adverts, subscriptions and
-// publishes over a random broker set, shuffled so registration and traffic
-// interleave.
+// eqScenario draws a full randomized churn workload: adverts,
+// subscriptions, unsubscriptions and publishes over a random broker set,
+// shuffled so registration, withdrawal and traffic interleave in arbitrary
+// order — including subscriptions registered before the adverts of their
+// streams exist (caught up by re-propagation epochs) and unsubscribes of
+// IDs that were never subscribed (explicit no-ops).
 func eqScenario(r *rand.Rand, nodes int) []eqOp {
 	var ops []eqOp
 	for _, s := range eqStreams {
@@ -114,12 +118,40 @@ func eqScenario(r *rand.Rand, nodes int) []eqOp {
 		}
 	}
 	for i := 0; i < 10+r.IntN(20); i++ {
-		ops = append(ops, eqOp{kind: eqSubscribe, node: topology.NodeID(r.IntN(nodes)), sub: eqRandomSub(r, i)})
+		node := topology.NodeID(r.IntN(nodes))
+		sub := eqRandomSub(r, i)
+		ops = append(ops, eqOp{kind: eqSubscribe, node: node, sub: sub})
+		// Roughly a third of the subscriptions churn away again.
+		if r.IntN(3) == 0 {
+			ops = append(ops, eqOp{kind: eqUnsubscribe, node: node, sub: sub})
+		}
+	}
+	// A couple of unsubscribes for IDs nobody ever subscribed.
+	for i := 0; i < 2; i++ {
+		ops = append(ops, eqOp{kind: eqUnsubscribe, node: topology.NodeID(r.IntN(nodes)),
+			sub: &Subscription{ID: fmt.Sprintf("ghost%d", i)}})
 	}
 	for i := 0; i < 40+r.IntN(40); i++ {
 		ops = append(ops, eqOp{kind: eqPublish, node: topology.NodeID(r.IntN(nodes)), tup: eqRandomTuple(r)})
 	}
 	r.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+	// Keep each real unsubscribe after its subscribe so the withdrawal
+	// actually exercises retraction (an early unsubscribe is just a
+	// no-op, already covered by the ghost IDs above).
+	pos := make(map[string]int)
+	for i, o := range ops {
+		if o.kind == eqSubscribe {
+			pos[o.sub.ID] = i
+		}
+	}
+	for i, o := range ops {
+		if o.kind == eqUnsubscribe {
+			if j, ok := pos[o.sub.ID]; ok && j > i {
+				ops[i], ops[j] = ops[j], ops[i]
+				pos[o.sub.ID] = i
+			}
+		}
+	}
 	return ops
 }
 
@@ -152,11 +184,11 @@ func renderTuple(t stream.Tuple) string {
 	return b.String()
 }
 
-// runEqScenario replays a scenario on a fresh overlay and returns the
-// ordered delivery log.
-func runEqScenario(t *testing.T, net *Network, ops []eqOp) []string {
+// runEqScenario replays a scenario on a fresh overlay, appending every
+// delivery to *log in order. Handlers keep appending to the same log after
+// the scenario, so probe publishes made later are captured too.
+func runEqScenario(t *testing.T, net *Network, ops []eqOp, log *[]string) {
 	t.Helper()
-	var log []string
 	for _, o := range ops {
 		b, ok := net.Broker(o.node)
 		if !ok {
@@ -168,33 +200,34 @@ func runEqScenario(t *testing.T, net *Network, ops []eqOp) []string {
 		case eqSubscribe:
 			node, sub := o.node, o.sub.Clone()
 			if err := b.Subscribe(sub, func(s *Subscription, tp stream.Tuple) {
-				log = append(log, fmt.Sprintf("%d/%s %s", node, s.ID, renderTuple(tp)))
+				*log = append(*log, fmt.Sprintf("%d/%s %s", node, s.ID, renderTuple(tp)))
 			}); err != nil {
 				t.Fatal(err)
 			}
+		case eqUnsubscribe:
+			b.Unsubscribe(o.sub.ID)
 		case eqPublish:
 			b.Publish(o.tup)
 		}
 	}
-	return log
 }
 
 // subsState renders every broker's recorded routing state (the per-direction
-// subscription lists), so covering decisions are compared too.
+// subscription lists with their propagation records), so covering and
+// lifecycle decisions are compared too.
 func subsState(net *Network) string {
 	var b strings.Builder
 	for _, n := range net.Nodes() {
 		br, _ := net.Broker(n)
 		br.mu.Lock()
-		dirs := make([]topology.NodeID, 0, len(br.subs))
-		for d := range br.subs {
-			dirs = append(dirs, d)
-		}
-		sort.Slice(dirs, func(i, j int) bool { return dirs[i] < dirs[j] })
-		for _, d := range dirs {
-			ids := make([]string, 0, len(br.subs[d]))
-			for _, s := range br.subs[d] {
-				ids = append(ids, s.ID)
+		for _, d := range sortedDirs(br.idx.dirs) {
+			recs := br.idx.dirs[d].subs
+			if len(recs) == 0 {
+				continue
+			}
+			ids := make([]string, 0, len(recs))
+			for _, c := range recs {
+				ids = append(ids, c.sub.ID+"->"+renderSentTo(c.sentTo))
 			}
 			fmt.Fprintf(&b, "%d<-%d: %s\n", n, d, strings.Join(ids, ","))
 		}
@@ -203,10 +236,20 @@ func subsState(net *Network) string {
 	return b.String()
 }
 
-// TestMatchIndexEquivalence: over randomized overlays and workloads, the
+func renderSentTo(sentTo map[topology.NodeID]bool) string {
+	nodes := sortedNodeSet(sentTo)
+	parts := make([]string, len(nodes))
+	for i, n := range nodes {
+		parts[i] = fmt.Sprint(n)
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// TestMatchIndexEquivalence: over randomized overlays and churn workloads
+// (interleaved advertise/subscribe/unsubscribe/publish in any order), the
 // indexed matcher and the linear reference produce identical delivery logs
 // (sets, order, payloads), identical per-link data and control traffic, and
-// identical recorded routing state.
+// identical recorded routing state including propagation records.
 func TestMatchIndexEquivalence(t *testing.T) {
 	for seed := uint64(0); seed < 40; seed++ {
 		r := rand.New(rand.NewPCG(seed, 2008))
@@ -224,8 +267,9 @@ func TestMatchIndexEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 
-		linLog := runEqScenario(t, lin, ops)
-		idxLog := runEqScenario(t, idx, ops)
+		var linLog, idxLog []string
+		runEqScenario(t, lin, ops, &linLog)
+		runEqScenario(t, idx, ops, &idxLog)
 
 		if !reflect.DeepEqual(linLog, idxLog) {
 			t.Fatalf("seed %d: delivery logs differ\nlinear:  %v\nindexed: %v", seed, linLog, idxLog)
@@ -242,6 +286,192 @@ func TestMatchIndexEquivalence(t *testing.T) {
 		if a, b := lin.Traffic(), idx.Traffic(); a != b {
 			t.Fatalf("seed %d: traffic reports differ: %+v vs %+v", seed, a, b)
 		}
+	}
+}
+
+// checkLifecycleInvariant asserts the propagation fixpoint on a quiescent
+// network: every recorded subscription (local or per-direction) has, for
+// every other neighbor that advertises one of its streams, either been sent
+// that way or a covering subscription that was. This is the property that
+// makes re-propagation and un-suppression complete — no interest is ever
+// silently stranded, whatever the advertise/subscribe/unsubscribe order
+// was.
+func checkLifecycleInvariant(t *testing.T, net *Network, seed uint64) {
+	t.Helper()
+	for _, n := range net.Nodes() {
+		br, _ := net.Broker(n)
+		br.mu.Lock()
+		check := func(c *compiledSub, srcDir topology.NodeID) {
+			for _, nb := range br.neighbors {
+				if nb == srcDir || c.sentTo[nb] {
+					continue
+				}
+				if !br.advertisesAny(nb, c.sub.Streams) {
+					continue
+				}
+				if br.coveredByLocalToward(nb, c.sub) || br.coveredExcept(nb, c.sub) {
+					continue
+				}
+				t.Errorf("seed %d: broker %d: %s neither sent toward %d nor covered",
+					seed, n, c.sub, nb)
+			}
+		}
+		for _, c := range br.idx.locals.subs {
+			check(c, -1)
+		}
+		for _, d := range sortedDirs(br.idx.dirs) {
+			for _, c := range br.idx.dirs[d].subs {
+				check(c, d)
+			}
+		}
+		br.mu.Unlock()
+	}
+}
+
+// recordState captures each broker's per-direction records as ID →
+// subscription maps, keyed "broker<-direction".
+func recordState(net *Network) map[string]map[string]*Subscription {
+	out := make(map[string]map[string]*Subscription)
+	for _, n := range net.Nodes() {
+		br, _ := net.Broker(n)
+		br.mu.Lock()
+		for _, d := range sortedDirs(br.idx.dirs) {
+			recs := br.idx.dirs[d].subs
+			if len(recs) == 0 {
+				continue
+			}
+			key := fmt.Sprintf("%d<-%d", n, d)
+			m := make(map[string]*Subscription, len(recs))
+			for _, c := range recs {
+				m[c.sub.ID] = c.sub
+			}
+			out[key] = m
+		}
+		br.mu.Unlock()
+	}
+	return out
+}
+
+// TestChurnReferenceEquivalence: for randomized interleavings of
+// advertise/subscribe/publish/unsubscribe — including
+// subscribe-before-advertise orderings the pre-lifecycle code routed
+// incorrectly — the network that lived through the churn behaves exactly
+// like a reference network rebuilt from scratch from the surviving state
+// (all adverts first, then only the surviving subscriptions, in order):
+// identical probe deliveries, identical per-link probe data traffic, and
+// equivalent routing state (every reference record present, extras only
+// redundant covered records that cannot change a forwarding decision).
+// Finally, withdrawing the survivors drains every broker to empty.
+func TestChurnReferenceEquivalence(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewPCG(seed, 777))
+		nodes := 4 + int(seed%4)
+		oracle, ids := eqNetwork(t, r, nodes)
+		ops := eqScenario(r, nodes)
+
+		churn, err := NewNetwork(oracle, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var churnLog []string
+		runEqScenario(t, churn, ops, &churnLog)
+
+		// Survivors: subscriptions never withdrawn, in subscribe order.
+		alive := make(map[string]bool)
+		var refOps []eqOp
+		for _, o := range ops {
+			switch o.kind {
+			case eqAdvertise:
+				refOps = append(refOps, o)
+			case eqSubscribe:
+				alive[o.sub.ID] = true
+			case eqUnsubscribe:
+				delete(alive, o.sub.ID)
+			}
+		}
+		for _, o := range ops {
+			if o.kind == eqSubscribe && alive[o.sub.ID] {
+				refOps = append(refOps, o)
+			}
+		}
+		ref, err := NewNetwork(oracle, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var refLog []string
+		runEqScenario(t, ref, refOps, &refLog)
+
+		checkLifecycleInvariant(t, churn, seed)
+
+		// Routing state: per (broker, direction), the two record sets
+		// must be coverage-equivalent — every record one network holds
+		// is present in, or covered by a record of, the other's same
+		// slot. (Exact ID sets can legitimately differ: covering
+		// suppression is order-dependent, so e.g. two mutually covering
+		// subscriptions may be recorded one-or-the-other depending on
+		// arrival order.) Coverage-equivalence implies identical
+		// forwarding decisions and projection unions, which the probe
+		// checks below verify empirically.
+		churnState, refState := recordState(churn), recordState(ref)
+		coveredBy := func(sub *Subscription, recs map[string]*Subscription) bool {
+			if _, ok := recs[sub.ID]; ok {
+				return true
+			}
+			for _, other := range recs {
+				if other.Covers(sub) {
+					return true
+				}
+			}
+			return false
+		}
+		for key, refRecs := range refState {
+			got := churnState[key]
+			for id, sub := range refRecs {
+				if !coveredBy(sub, got) {
+					t.Errorf("seed %d: %s: reference record %s stranded (neither present nor covered after churn)",
+						seed, key, id)
+				}
+			}
+		}
+		for key, recs := range churnState {
+			refRecs := refState[key]
+			for id, sub := range recs {
+				if !coveredBy(sub, refRecs) {
+					t.Errorf("seed %d: %s: stale record %s survived churn (not justified by reference state)",
+						seed, key, id)
+				}
+			}
+		}
+
+		// Probe publishes: identical deliveries and identical per-link
+		// data traffic on both networks.
+		var probes []eqOp
+		for i := 0; i < 30; i++ {
+			probes = append(probes, eqOp{kind: eqPublish, node: topology.NodeID(r.IntN(nodes)), tup: eqRandomTuple(r)})
+		}
+		churn.ResetTraffic()
+		ref.ResetTraffic()
+		mark := len(churnLog)
+		refMark := len(refLog)
+		runEqScenario(t, churn, probes, &churnLog)
+		runEqScenario(t, ref, probes, &refLog)
+		if !reflect.DeepEqual(churnLog[mark:], refLog[refMark:]) {
+			t.Fatalf("seed %d: probe deliveries differ\nchurned:   %v\nreference: %v",
+				seed, churnLog[mark:], refLog[refMark:])
+		}
+		if !reflect.DeepEqual(churn.data, ref.data) {
+			t.Fatalf("seed %d: per-link probe data traffic differs\nchurned:   %v\nreference: %v",
+				seed, churn.data, ref.data)
+		}
+
+		// Withdrawing every survivor drains all routing state.
+		for _, o := range refOps {
+			if o.kind == eqSubscribe {
+				b, _ := churn.Broker(o.node)
+				b.Unsubscribe(o.sub.ID)
+			}
+		}
+		assertDrained(t, churn)
 	}
 }
 
@@ -280,7 +510,8 @@ func TestTrafficReportDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		log := runEqScenario(t, net, ops)
+		var log []string
+		runEqScenario(t, net, ops, &log)
 		return net.Traffic(), log
 	}
 	rep1, log1 := run()

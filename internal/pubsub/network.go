@@ -18,6 +18,9 @@ type Network struct {
 
 	mu      sync.Mutex
 	brokers map[topology.NodeID]*Broker
+	// linear records the matcher mode so dynamically joined brokers
+	// (AddBroker) inherit it.
+	linear bool
 	// latency of each overlay link, keyed by ordered pair.
 	links map[[2]topology.NodeID]float64
 	// traffic in bytes per overlay link.
@@ -92,14 +95,58 @@ func (net *Network) addLink(a, b topology.NodeID, latency float64) {
 	net.links[orderPair(a, b)] = latency
 }
 
-// Broker returns the broker at a node.
+// Broker returns the broker at a node. The broker map is read under the
+// network lock: AddBroker can grow it on a live overlay.
 func (net *Network) Broker(n topology.NodeID) (*Broker, bool) {
+	net.mu.Lock()
+	defer net.mu.Unlock()
 	b, ok := net.brokers[n]
 	return b, ok
 }
 
-// Peer implements Fabric with direct in-process calls.
-func (net *Network) Peer(n topology.NodeID) Peer { return net.brokers[n] }
+// AddBroker dynamically joins a broker for node n to a running overlay,
+// attaching it by a new link to the nearest existing broker (greedy MST
+// extension — the overlay stays an acyclic tree). The attach point replays
+// its known advertisements over the new link so the newcomer immediately
+// learns the direction of every advertised stream; the newcomer's own
+// advertisements then flood normally and trigger subscription
+// re-propagation toward it. Returns the existing broker unchanged when n
+// is already part of the overlay.
+func (net *Network) AddBroker(n topology.NodeID) *Broker {
+	net.mu.Lock()
+	if b, ok := net.brokers[n]; ok {
+		net.mu.Unlock()
+		return b
+	}
+	var attach topology.NodeID = -1
+	best := math.Inf(1)
+	for id := range net.brokers {
+		d := net.oracle.Latency(id, n)
+		if d < best || (d == best && (attach < 0 || id < attach)) {
+			best, attach = d, id
+		}
+	}
+	b := NewBroker(net, n)
+	net.brokers[n] = b
+	net.addLink(attach, n, best)
+	attachBroker := net.brokers[attach]
+	lin := net.linear
+	net.mu.Unlock()
+	if lin {
+		b.SetLinearMatching(true)
+	}
+	attachBroker.syncAdvertsTo(n)
+	return b
+}
+
+// Peer implements Fabric with direct in-process calls. Locked like Broker
+// (AddBroker mutates the map); the cost is in line with the per-send
+// traffic-counter locking the fabric already pays.
+func (net *Network) Peer(n topology.NodeID) Peer {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	return net.brokers[n]
+}
 
 func orderPair(a, b topology.NodeID) [2]topology.NodeID {
 	if a > b {
@@ -188,6 +235,7 @@ func sortedLinks(m map[[2]topology.NodeID]float64) [][2]topology.NodeID {
 // stay indexed.
 func (net *Network) SetLinearMatching(on bool) {
 	net.mu.Lock()
+	net.linear = on
 	brokers := make([]*Broker, 0, len(net.brokers))
 	for _, b := range net.brokers {
 		brokers = append(brokers, b)
@@ -200,6 +248,8 @@ func (net *Network) SetLinearMatching(on bool) {
 
 // Nodes returns the broker nodes sorted by ID.
 func (net *Network) Nodes() []topology.NodeID {
+	net.mu.Lock()
+	defer net.mu.Unlock()
 	out := make([]topology.NodeID, 0, len(net.brokers))
 	for n := range net.brokers {
 		out = append(out, n)

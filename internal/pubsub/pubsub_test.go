@@ -270,35 +270,86 @@ func TestLocalCoverSuppressesPropagation(t *testing.T) {
 	}
 }
 
-// TestLocalCoverSuppressionGatedOnPropagation: a local subscription that
-// was never actually propagated (registered before any matching advert
-// arrived) must NOT suppress a later covered subscription — suppression is
-// sound only toward neighbors the covering subscription was sent to.
-func TestLocalCoverSuppressionGatedOnPropagation(t *testing.T) {
+// TestAdvertTriggeredRepropagation: a local subscription registered before
+// any matching advert exists is replayed toward the advertiser when the
+// advert flood arrives (the re-propagation epoch), multi-hop — so
+// subscribe-before-advertise orderings route correctly — and from then on
+// it suppresses covered subscriptions exactly as an eagerly propagated one
+// would. (Before the lifecycle subsystem, such a subscription was never
+// propagated at all and deliveries silently failed.)
+func TestAdvertTriggeredRepropagation(t *testing.T) {
 	net := lineNet(t)
 	src, _ := net.Broker(0)
 	b3, _ := net.Broker(3)
 
-	// Subscribe before any advert exists: wide propagates nowhere.
+	// Subscribe before any advert exists: wide has nowhere to go yet.
 	wideHits, narrowHits := 0, 0
 	wide := &Subscription{ID: "wide", Streams: []string{"R"}}
 	if err := b3.Subscribe(wide, func(*Subscription, stream.Tuple) { wideHits++ }); err != nil {
 		t.Fatal(err)
 	}
-	src.Advertise("R")
+	if rep := net.Traffic(); rep.ControlBytes != 0 {
+		t.Fatalf("subscription with no advertised stream generated traffic: %v", rep.ControlBytes)
+	}
 
+	// The advert flood triggers the replay: wide crosses each link once,
+	// right behind the advert, and is recorded along the whole path.
+	src.Advertise("R")
+	wantControl := float64(3*advertSize + 3*subSize(wide))
+	if rep := net.Traffic(); rep.ControlBytes != wantControl {
+		t.Fatalf("control bytes after advert = %v, want %v (advert + replayed subscription per link)",
+			rep.ControlBytes, wantControl)
+	}
+	if remote, _ := src.RoutingStateSize(); remote != 1 {
+		t.Fatalf("publisher records %d subscriptions, want 1 (replayed wide)", remote)
+	}
+
+	// A later covered subscription is suppressed — wide has genuinely
+	// been propagated now, so the suppression is sound.
 	before := net.Traffic().ControlBytes
 	narrow := &Subscription{ID: "narrow", Streams: []string{"R"},
 		Filters: []query.Predicate{filter("a", query.Gt, 10)}}
 	if err := b3.Subscribe(narrow, func(*Subscription, stream.Tuple) { narrowHits++ }); err != nil {
 		t.Fatal(err)
 	}
-	if after := net.Traffic().ControlBytes; after == before {
-		t.Fatal("narrow suppressed by a local subscription that was never propagated")
+	if after := net.Traffic().ControlBytes; after != before {
+		t.Fatalf("covered subscription flooded after replay: control %v -> %v", before, after)
+	}
+
+	src.Publish(tuple("R", map[string]float64{"a": 15}))
+	src.Publish(tuple("R", map[string]float64{"a": 5}))
+	if wideHits != 2 || narrowHits != 1 {
+		t.Fatalf("deliveries wide=%d narrow=%d, want 2/1", wideHits, narrowHits)
+	}
+}
+
+// TestRepropagationCoversWithinReplay: when several pending subscriptions
+// replay in one epoch, covering applies inside the batch — the covering one
+// (earlier registration) is sent, the covered one suppressed.
+func TestRepropagationCoversWithinReplay(t *testing.T) {
+	net := lineNet(t)
+	src, _ := net.Broker(0)
+	b3, _ := net.Broker(3)
+
+	wide := &Subscription{ID: "wide", Streams: []string{"R"}}
+	narrow := &Subscription{ID: "narrow", Streams: []string{"R"},
+		Filters: []query.Predicate{filter("a", query.Gt, 10)}}
+	hits := map[string]int{}
+	for _, s := range []*Subscription{wide, narrow} {
+		if err := b3.Subscribe(s, func(s *Subscription, _ stream.Tuple) { hits[s.ID]++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.Advertise("R")
+	// Only wide replays: one advert and one subscription per link.
+	wantControl := float64(3*advertSize + 3*subSize(wide))
+	if rep := net.Traffic(); rep.ControlBytes != wantControl {
+		t.Fatalf("control bytes = %v, want %v (covered subscription must not replay)",
+			rep.ControlBytes, wantControl)
 	}
 	src.Publish(tuple("R", map[string]float64{"a": 15}))
-	if narrowHits != 1 || wideHits != 1 {
-		t.Fatalf("deliveries narrow=%d wide=%d, want 1/1", narrowHits, wideHits)
+	if hits["wide"] != 1 || hits["narrow"] != 1 {
+		t.Fatalf("deliveries = %v, want wide=1 narrow=1", hits)
 	}
 }
 

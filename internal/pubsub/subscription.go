@@ -21,7 +21,21 @@ import (
 // wanted, the attributes to retain (nil = all), and conjunctive filters
 // over attribute values.
 type Subscription struct {
+	// ID is the subscription's identity ACROSS THE OVERLAY: routing
+	// records, covering suppression, epoch supersession and retraction
+	// all key on it. Callers must keep IDs globally unique (the cosmos
+	// middleware derives them from the owning node or query name); two
+	// distinct subscriptions reusing an ID are treated as incarnations
+	// of one subscription, and the newer epoch silently supersedes the
+	// older everywhere.
 	ID string
+	// Seq is the epoch the subscription was issued in, stamped by the
+	// origin broker on Subscribe and carried along propagation. Brokers
+	// drop re-deliveries that are not newer than their recorded epoch
+	// (duplicate-flood suppression) and ignore retractions older than
+	// it, so a re-subscribe of a reused ID cleanly supersedes the
+	// previous incarnation everywhere.
+	Seq uint64
 	// Streams lists the stream names of interest.
 	Streams []string
 	// Attrs is the projection list; nil keeps every attribute.
@@ -182,7 +196,7 @@ func (s *Subscription) String() string {
 
 // Clone returns an independent copy.
 func (s *Subscription) Clone() *Subscription {
-	c := &Subscription{ID: s.ID}
+	c := &Subscription{ID: s.ID, Seq: s.Seq}
 	c.Streams = append([]string(nil), s.Streams...)
 	if s.Attrs != nil {
 		c.Attrs = append([]string(nil), s.Attrs...)

@@ -26,6 +26,7 @@ const (
 	MsgAdvert MsgKind = iota + 1
 	MsgSubscribe
 	MsgData
+	MsgUnsubscribe
 )
 
 // Envelope is the single wire message type.
@@ -36,6 +37,10 @@ type Envelope struct {
 	StreamName string
 	// Subscribe
 	Sub *WireSubscription
+	// Unsubscribe (retraction): the withdrawn subscription's ID and the
+	// epoch being retracted.
+	SubID string
+	Seq   uint64
 	// Data
 	Tuple *stream.Tuple
 }
@@ -45,6 +50,7 @@ type Envelope struct {
 // the wire format stable).
 type WireSubscription struct {
 	ID      string
+	Seq     uint64
 	Streams []string
 	Attrs   []string
 	Filters []WirePredicate
@@ -65,6 +71,7 @@ type WirePredicate struct {
 func toWire(s *pubsub.Subscription) *WireSubscription {
 	w := &WireSubscription{
 		ID:      s.ID,
+		Seq:     s.Seq,
 		Streams: append([]string(nil), s.Streams...),
 		Attrs:   append([]string(nil), s.Attrs...),
 	}
@@ -94,6 +101,7 @@ func toWire(s *pubsub.Subscription) *WireSubscription {
 func fromWire(w *WireSubscription) *pubsub.Subscription {
 	s := &pubsub.Subscription{
 		ID:      w.ID,
+		Seq:     w.Seq,
 		Streams: append([]string(nil), w.Streams...),
 		Attrs:   w.Attrs,
 	}
@@ -233,6 +241,8 @@ func (n *Node) serve(conn net.Conn) {
 			if env.Sub != nil {
 				n.Broker.PropagateFrom(fromWire(env.Sub), env.From)
 			}
+		case MsgUnsubscribe:
+			n.Broker.RetractFrom(env.From, env.SubID, env.Seq)
 		case MsgData:
 			if env.Tuple != nil {
 				n.Broker.RouteFrom(*env.Tuple, env.From)
@@ -278,6 +288,10 @@ func (r remotePeer) AdvertFrom(from topology.NodeID, streamName string) {
 
 func (r remotePeer) PropagateFrom(sub *pubsub.Subscription, from topology.NodeID) {
 	_ = r.n.send(r.id, Envelope{Kind: MsgSubscribe, From: from, Sub: toWire(sub)})
+}
+
+func (r remotePeer) RetractFrom(from topology.NodeID, id string, seq uint64) {
+	_ = r.n.send(r.id, Envelope{Kind: MsgUnsubscribe, From: from, SubID: id, Seq: seq})
 }
 
 func (r remotePeer) RouteFrom(t stream.Tuple, from topology.NodeID) {

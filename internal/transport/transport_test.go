@@ -104,10 +104,65 @@ func TestEndToEndOverTCP(t *testing.T) {
 	}
 }
 
+// TestUnsubscribeRetractionOverTCP: a subscription registered before the
+// advert exists is re-propagated over the wire when the advert arrives, and
+// an unsubscribe retraction crosses the wire and drains the remote routing
+// state (publishes stop leaving the source).
+func TestUnsubscribeRetractionOverTCP(t *testing.T) {
+	nodes := line3(t)
+
+	// Subscribe BEFORE any advert: the lifecycle replay must carry the
+	// subscription to node 0 once the advert floods.
+	var mu sync.Mutex
+	delivered := 0
+	sub := &pubsub.Subscription{ID: "life", Streams: []string{"R"}}
+	if err := nodes[2].Broker.Subscribe(sub, func(*pubsub.Subscription, stream.Tuple) {
+		mu.Lock()
+		delivered++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	nodes[0].Broker.Advertise("R")
+	waitFor(t, "re-propagated subscription recorded at node 0", func() bool {
+		remote, _ := nodes[0].Broker.RoutingStateSize()
+		return remote == 1
+	})
+
+	nodes[0].Broker.Publish(stream.Tuple{Stream: "R", Timestamp: 1,
+		Attrs: map[string]stream.Value{"a": stream.FloatVal(1)}, Size: 24})
+	waitFor(t, "delivery at node 2", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return delivered == 1
+	})
+
+	// Retraction crosses both hops and removes the remote records.
+	nodes[2].Broker.Unsubscribe("life")
+	waitFor(t, "retraction drains node 0 and node 1", func() bool {
+		r0, _ := nodes[0].Broker.RoutingStateSize()
+		r1, _ := nodes[1].Broker.RoutingStateSize()
+		return r0 == 0 && r1 == 0
+	})
+	dataBefore, _ := nodes[0].SentBytes()
+	nodes[0].Broker.Publish(stream.Tuple{Stream: "R", Timestamp: 2,
+		Attrs: map[string]stream.Value{"a": stream.FloatVal(2)}, Size: 24})
+	time.Sleep(50 * time.Millisecond)
+	if dataAfter, _ := nodes[0].SentBytes(); dataAfter != dataBefore {
+		t.Errorf("publish after retraction still left the source: %v -> %v data bytes", dataBefore, dataAfter)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if delivered != 1 {
+		t.Errorf("deliveries = %d, want 1 (none after unsubscribe)", delivered)
+	}
+}
+
 func TestWireSubscriptionRoundTrip(t *testing.T) {
 	lit := stream.FloatVal(7)
 	in := &pubsub.Subscription{
 		ID:      "rt",
+		Seq:     42,
 		Streams: []string{"R", "S"},
 		Attrs:   []string{"a", "b"},
 		Filters: []query.Predicate{{
@@ -117,7 +172,7 @@ func TestWireSubscriptionRoundTrip(t *testing.T) {
 		}},
 	}
 	out := fromWire(toWire(in))
-	if out.ID != in.ID || len(out.Streams) != 2 || len(out.Attrs) != 2 || len(out.Filters) != 1 {
+	if out.ID != in.ID || out.Seq != 42 || len(out.Streams) != 2 || len(out.Attrs) != 2 || len(out.Filters) != 1 {
 		t.Fatalf("round trip mangled subscription: %+v", out)
 	}
 	f := out.Filters[0]
