@@ -7,6 +7,7 @@ package cosmos
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"repro/internal/adapt"
@@ -327,12 +328,112 @@ func benchBrokerRoute(b *testing.B, nSubs int, linear bool) {
 		net.SetLinearMatching(true)
 	}
 	windows := nSubs/streams + 2
+	// Warm-up: one tuple per stream, so the lazily built attribute-prune
+	// indexes exist before timing starts and short -benchtime runs (CI
+	// uses 100x) measure the steady state, not the one-time builds.
+	for s := 0; s < streams; s++ {
+		src.Publish(stream.Tuple{
+			Stream: streamName(s),
+			Attrs:  map[string]stream.Value{"a": stream.FloatVal(0), "b": stream.FloatVal(1)},
+			Size:   32,
+		})
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t := stream.Tuple{
 			Stream: streamName(i % streams),
 			Attrs: map[string]stream.Value{
 				"a": stream.FloatVal(float64(i % windows)),
+				"b": stream.FloatVal(1),
+			},
+			Size: 32,
+		}
+		src.Publish(t)
+	}
+	b.StopTimer()
+	if delivered == 0 {
+		b.Fatal("no deliveries: benchmark not exercising the match path")
+	}
+}
+
+// BenchmarkBrokerRouteSelectivity measures attribute-level candidate
+// pruning against the unpruned posting-list scan at controlled matching
+// fractions: 10k subscriptions on ONE stream (so the posting list bounds
+// nothing and candidate selection is the whole game), each with a
+// half-open window filter [i, i+w) whose width w sets the fraction of the
+// population a tuple matches (0.1%, 1%, 10%). "pruned" is the production
+// matcher (interval-stabbing candidate selection); "unpruned" evaluates
+// every posting-list candidate — the PR 2/3 indexed matcher, retained via
+// SetAttrPruning(false). Run with -benchmem: the route path is also the
+// allocation hot path.
+func BenchmarkBrokerRouteSelectivity(b *testing.B) {
+	const nSubs = 10000
+	for _, mode := range []struct {
+		name  string
+		prune bool
+	}{{"pruned", true}, {"unpruned", false}} {
+		for _, sel := range []struct {
+			name  string
+			width int
+		}{{"sel=0.1pct", 10}, {"sel=1pct", 100}, {"sel=10pct", 1000}} {
+			b.Run(mode.name+"/"+sel.name, func(b *testing.B) {
+				benchBrokerRouteSelectivity(b, nSubs, sel.width, mode.prune)
+			})
+		}
+	}
+}
+
+func benchBrokerRouteSelectivity(b *testing.B, nSubs, width int, prune bool) {
+	g := topology.NewGraph(2)
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		b.Fatal(err)
+	}
+	net, err := pubsub.NewNetwork(topology.NewOracle(g), []topology.NodeID{0, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.SetAttrPruning(prune)
+	src, _ := net.Broker(0)
+	dst, _ := net.Broker(1)
+	src.Advertise("S")
+	mkFilter := func(op query.Op, v float64) query.Predicate {
+		lit := stream.FloatVal(v)
+		return query.Predicate{
+			Left:  query.Operand{Col: &query.ColRef{Attr: "a"}},
+			Op:    op,
+			Right: query.Operand{Lit: &lit},
+		}
+	}
+	delivered := 0
+	for i := 0; i < nSubs; i++ {
+		// Equal-width shifted windows [i, i+w): no subscription covers
+		// another, so all N propagate; a tuple value hits ~w of them.
+		k := float64(i)
+		sub := &pubsub.Subscription{
+			ID:      fmt.Sprintf("s%d", i),
+			Streams: []string{"S"},
+			Filters: []query.Predicate{mkFilter(query.Ge, k), mkFilter(query.Lt, k+float64(width))},
+		}
+		if i%2 == 0 {
+			sub.Attrs = []string{"a", "b"}
+		}
+		if err := dst.Subscribe(sub, func(*pubsub.Subscription, stream.Tuple) { delivered++ }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Warm-up: build the lazy prune indexes before timing (see
+	// benchBrokerRoute).
+	src.Publish(stream.Tuple{
+		Stream: "S",
+		Attrs:  map[string]stream.Value{"a": stream.FloatVal(0), "b": stream.FloatVal(1)},
+		Size:   32,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := stream.Tuple{
+			Stream: "S",
+			Attrs: map[string]stream.Value{
+				"a": stream.FloatVal(float64(i % nSubs)),
 				"b": stream.FloatVal(1),
 			},
 			Size: 32,
@@ -415,6 +516,36 @@ func benchBrokerChurn(b *testing.B, nSubs int) {
 	if remote, _ := src.RoutingStateSize(); remote != nSubs {
 		b.Fatalf("publisher records %d subscriptions after churn, want %d", remote, nSubs)
 	}
+}
+
+// BenchmarkFig6RunningTimeMedium reruns the Fig 6 experiment at
+// ScaleMedium (4000 substreams / 96 processors) — the configuration the
+// nightly workflow sweeps. One iteration is a full multi-minute sweep, so
+// the benchmark skips unless COSMOS_BENCH_MEDIUM is set; the nightly bench
+// job sets it and guards the result against BENCH_BASELINE.json, which is
+// where the promoted ScaleMedium numbers live.
+func BenchmarkFig6RunningTimeMedium(b *testing.B) {
+	if os.Getenv("COSMOS_BENCH_MEDIUM") == "" {
+		b.Skip("set COSMOS_BENCH_MEDIUM=1 (nightly bench job) to run the ScaleMedium sweep")
+	}
+	w, err := sim.NewWorld(sim.ConfigFor(sim.ScaleMedium))
+	if err != nil {
+		b.Fatalf("NewWorld: %v", err)
+	}
+	var cost, times *metrics.Table
+	for i := 0; i < b.N; i++ {
+		cost, times, err = w.Fig6(sim.ExperimentOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	cen := lastOf(cost, "Centralized")
+	b.ReportMetric(lastOf(cost, "Naive")/cen, "naive/cen")
+	b.ReportMetric(lastOf(cost, "Greedy")/cen, "greedy/cen")
+	b.ReportMetric(lastOf(cost, "Hierarchical")/cen, "hier/cen")
+	b.ReportMetric(lastOf(times, "Cen.Total"), "cen-ms")
+	b.ReportMetric(lastOf(times, "Hie.Total"), "hie-total-ms")
+	b.ReportMetric(lastOf(times, "Hie.Response"), "hie-resp-ms")
 }
 
 // BenchmarkAblationOverlapEdges quantifies the overlap-edge model component

@@ -1,20 +1,23 @@
 // Command benchcheck guards CI against gross benchmark regressions: it
-// parses `go test -bench` output, takes the best (minimum) ns/op per
-// benchmark across repetitions (-count > 1 recommended — the minimum is
-// far less noisy than the mean on shared runners), and compares each
-// guarded benchmark against the recorded baseline in BENCH_BASELINE.json
-// with a generous tolerance multiplier.
+// parses `go test -bench` output, takes the best (minimum) value per
+// benchmark and metric across repetitions (-count > 1 recommended — the
+// minimum is far less noisy than the mean on shared runners), and compares
+// each guarded benchmark against the recorded baseline in
+// BENCH_BASELINE.json with a generous tolerance multiplier.
 //
 // Usage:
 //
-//	go test -run '^$' -bench BenchmarkBrokerRoute -count 2 . | tee bench.txt
+//	go test -run '^$' -bench BenchmarkBrokerRoute -benchmem -count 2 . | tee bench.txt
 //	go run ./cmd/benchcheck -baseline BENCH_BASELINE.json -tolerance 4 bench.txt
 //
 // The baseline file's top-level "guard" object maps benchmark names (as
-// printed by the testing package, without the trailing -GOMAXPROCS
-// suffix) to {"ns_per_op": <recorded>}. A run fails when the observed
-// minimum exceeds recorded*tolerance. Guarded benchmarks absent from the
-// input only warn: jobs may guard different subsets.
+// printed by the testing package, without the trailing -GOMAXPROCS suffix)
+// to {"ns_per_op": <recorded>} plus optionally {"b_per_op": <bytes>,
+// "allocs_per_op": <allocs>} — the latter two require the bench job to run
+// with -benchmem and guard the route-path allocation budget the same way
+// wall time is guarded. A run fails when any observed minimum exceeds
+// recorded*tolerance. Guarded benchmarks (or guarded memory metrics)
+// absent from the input only warn: jobs may guard different subsets.
 package main
 
 import (
@@ -27,22 +30,31 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
-// guardEntry is one guarded benchmark in BENCH_BASELINE.json.
+// guardEntry is one guarded benchmark in BENCH_BASELINE.json. Zero-valued
+// metrics are unguarded.
 type guardEntry struct {
-	NsPerOp float64 `json:"ns_per_op"`
-	Note    string  `json:"note,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Note        string  `json:"note,omitempty"`
+}
+
+// observed holds the per-benchmark minima of each metric.
+type observed struct {
+	ns, bytes, allocs float64
+	hasMem            bool
 }
 
 // benchLine matches one testing-package benchmark result line, e.g.
-// "BenchmarkBrokerRoute/indexed-1000-2   300000   3927 ns/op   12 B/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+)\s+ns/op`)
+// "BenchmarkBrokerRoute/indexed/subs=1000-2   300000   3927 ns/op   12 B/op   3 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+)\s+ns/op(?:.*?\s([0-9.]+)\s+B/op\s+([0-9.]+)\s+allocs/op)?`)
 
-// parseBench extracts the minimum ns/op per benchmark name (the trailing
+// parseBench extracts the per-benchmark metric minima (the trailing
 // -GOMAXPROCS suffix stripped) from bench output.
-func parseBench(r io.Reader) (map[string]float64, error) {
-	min := make(map[string]float64)
+func parseBench(r io.Reader, into map[string]*observed) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -52,37 +64,71 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 		}
 		ns, err := strconv.ParseFloat(m[3], 64)
 		if err != nil {
-			return nil, fmt.Errorf("benchcheck: bad ns/op in %q: %w", sc.Text(), err)
+			return fmt.Errorf("benchcheck: bad ns/op in %q: %w", sc.Text(), err)
 		}
-		name := m[1]
-		if cur, ok := min[name]; !ok || ns < cur {
-			min[name] = ns
+		o := into[m[1]]
+		if o == nil {
+			o = &observed{ns: ns, bytes: -1, allocs: -1}
+			into[m[1]] = o
+		} else if ns < o.ns {
+			o.ns = ns
+		}
+		if m[4] != "" {
+			b, err1 := strconv.ParseFloat(m[4], 64)
+			a, err2 := strconv.ParseFloat(m[5], 64)
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("benchcheck: bad B/op or allocs/op in %q", sc.Text())
+			}
+			if !o.hasMem || b < o.bytes {
+				o.bytes = b
+			}
+			if !o.hasMem || a < o.allocs {
+				o.allocs = a
+			}
+			o.hasMem = true
 		}
 	}
-	return min, sc.Err()
+	return sc.Err()
 }
 
 // check compares observed minima against the guard with the given
-// tolerance multiplier, returning regression messages and missing-bench
+// tolerance multiplier, returning regression messages and missing-metric
 // warnings, both in sorted guard order.
-func check(guard map[string]guardEntry, observed map[string]float64, tolerance float64) (regressions, missing []string) {
+func check(guard map[string]guardEntry, obs map[string]*observed, tolerance float64) (regressions, missing []string) {
 	names := make([]string, 0, len(guard))
 	for name := range guard {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	exceed := func(name, metric string, got, base float64) {
+		limit := base * tolerance
+		if got > limit {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f %s exceeds %.0f (baseline %.0f × tolerance %.1f)",
+				name, got, metric, limit, base, tolerance))
+		}
+	}
 	for _, name := range names {
 		g := guard[name]
-		got, ok := observed[name]
+		o, ok := obs[name]
 		if !ok {
 			missing = append(missing, name)
 			continue
 		}
-		limit := g.NsPerOp * tolerance
-		if got > limit {
-			regressions = append(regressions, fmt.Sprintf(
-				"%s: %.0f ns/op exceeds %.0f (baseline %.0f × tolerance %.1f)",
-				name, got, limit, g.NsPerOp, tolerance))
+		if g.NsPerOp > 0 {
+			exceed(name, "ns/op", o.ns, g.NsPerOp)
+		}
+		if g.BPerOp > 0 || g.AllocsPerOp > 0 {
+			if !o.hasMem {
+				missing = append(missing, name+" (B/op, allocs/op: run with -benchmem)")
+				continue
+			}
+			if g.BPerOp > 0 {
+				exceed(name, "B/op", o.bytes, g.BPerOp)
+			}
+			if g.AllocsPerOp > 0 {
+				exceed(name, "allocs/op", o.allocs, g.AllocsPerOp)
+			}
 		}
 	}
 	return regressions, missing
@@ -102,41 +148,51 @@ func run(baselinePath string, tolerance float64, inputs []string) error {
 	if len(baseline.Guard) == 0 {
 		return fmt.Errorf("benchcheck: %s has no guard entries", baselinePath)
 	}
-	observed := make(map[string]float64)
+	obs := make(map[string]*observed)
 	for _, path := range inputs {
 		f, err := os.Open(path)
 		if err != nil {
 			return err
 		}
-		part, err := parseBench(f)
+		err = parseBench(f, obs)
 		f.Close()
 		if err != nil {
 			return err
 		}
-		for name, ns := range part {
-			if cur, ok := observed[name]; !ok || ns < cur {
-				observed[name] = ns
-			}
-		}
 	}
-	if len(observed) == 0 {
+	if len(obs) == 0 {
 		return fmt.Errorf("benchcheck: no benchmark results found in %v", inputs)
 	}
-	regressions, missing := check(baseline.Guard, observed, tolerance)
+	regressions, missing := check(baseline.Guard, obs, tolerance)
 	for _, name := range missing {
 		fmt.Printf("benchcheck: warning: guarded benchmark %s not in input\n", name)
 	}
-	names := make([]string, 0, len(observed))
-	for name := range observed {
+	names := make([]string, 0, len(obs))
+	for name := range obs {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
 		status := "unguarded"
 		if g, ok := baseline.Guard[name]; ok {
-			status = fmt.Sprintf("baseline %.0f, limit %.0f", g.NsPerOp, g.NsPerOp*tolerance)
+			var parts []string
+			if g.NsPerOp > 0 {
+				parts = append(parts, fmt.Sprintf("ns baseline %.0f, limit %.0f", g.NsPerOp, g.NsPerOp*tolerance))
+			}
+			if g.BPerOp > 0 {
+				parts = append(parts, fmt.Sprintf("B baseline %.0f, limit %.0f", g.BPerOp, g.BPerOp*tolerance))
+			}
+			if g.AllocsPerOp > 0 {
+				parts = append(parts, fmt.Sprintf("allocs baseline %.0f, limit %.0f", g.AllocsPerOp, g.AllocsPerOp*tolerance))
+			}
+			status = strings.Join(parts, "; ")
 		}
-		fmt.Printf("benchcheck: %-48s %12.0f ns/op  (%s)\n", name, observed[name], status)
+		o := obs[name]
+		mem := ""
+		if o.hasMem {
+			mem = fmt.Sprintf("  %8.0f B/op %6.0f allocs/op", o.bytes, o.allocs)
+		}
+		fmt.Printf("benchcheck: %-56s %12.0f ns/op%s  (%s)\n", name, o.ns, mem, status)
 	}
 	if len(regressions) > 0 {
 		for _, r := range regressions {

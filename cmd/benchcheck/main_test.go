@@ -8,18 +8,24 @@ import (
 const sampleOutput = `goos: linux
 goarch: amd64
 pkg: repro
-BenchmarkBrokerRoute/indexed-1000-2         	  300000	      4100 ns/op
-BenchmarkBrokerRoute/indexed-1000-2         	  310000	      3950 ns/op
+BenchmarkBrokerRoute/indexed-1000-2         	  300000	      4100 ns/op	    1500 B/op	       8 allocs/op
+BenchmarkBrokerRoute/indexed-1000-2         	  310000	      3950 ns/op	    1474 B/op	       7 allocs/op
 BenchmarkBrokerRoute/indexed-10000-2        	   50000	     21000 ns/op
 BenchmarkFig6RunningTime-2                  	       5	 120000000 ns/op	        36.0 cen-ms
 PASS
 `
 
-func TestParseBenchTakesMinAndStripsProcs(t *testing.T) {
-	got, err := parseBench(strings.NewReader(sampleOutput))
-	if err != nil {
+func parse(t *testing.T, text string) map[string]*observed {
+	t.Helper()
+	got := make(map[string]*observed)
+	if err := parseBench(strings.NewReader(text), got); err != nil {
 		t.Fatal(err)
 	}
+	return got
+}
+
+func TestParseBenchTakesMinAndStripsProcs(t *testing.T) {
+	got := parse(t, sampleOutput)
 	want := map[string]float64{
 		"BenchmarkBrokerRoute/indexed-1000":  3950,
 		"BenchmarkBrokerRoute/indexed-10000": 21000,
@@ -29,9 +35,25 @@ func TestParseBenchTakesMinAndStripsProcs(t *testing.T) {
 		t.Fatalf("parsed %v, want %v", got, want)
 	}
 	for name, ns := range want {
-		if got[name] != ns {
-			t.Errorf("%s = %v, want %v", name, got[name], ns)
+		o := got[name]
+		if o == nil || o.ns != ns {
+			t.Errorf("%s = %+v, want ns %v", name, o, ns)
 		}
+	}
+}
+
+func TestParseBenchTracksMemoryMinima(t *testing.T) {
+	got := parse(t, sampleOutput)
+	o := got["BenchmarkBrokerRoute/indexed-1000"]
+	if !o.hasMem || o.bytes != 1474 || o.allocs != 7 {
+		t.Fatalf("memory minima = %+v, want 1474 B/op, 7 allocs/op", o)
+	}
+	if got["BenchmarkBrokerRoute/indexed-10000"].hasMem {
+		t.Fatal("10000 variant has no -benchmem columns, hasMem should be false")
+	}
+	// A metric-only line must not disturb the ns minimum.
+	if got["BenchmarkFig6RunningTime"].hasMem {
+		t.Fatal("custom-metric line misparsed as memory columns")
 	}
 }
 
@@ -41,11 +63,11 @@ func TestCheckFlagsOnlyGrossRegressions(t *testing.T) {
 		"BenchmarkFig6RunningTime":          {NsPerOp: 115000000},
 		"BenchmarkNotRun":                   {NsPerOp: 1},
 	}
-	observed := map[string]float64{
-		"BenchmarkBrokerRoute/indexed-1000": 15000,     // 3.75x: inside 4x tolerance
-		"BenchmarkFig6RunningTime":          700000000, // ~6x: regression
+	obs := map[string]*observed{
+		"BenchmarkBrokerRoute/indexed-1000": {ns: 15000},     // 3.75x: inside 4x tolerance
+		"BenchmarkFig6RunningTime":          {ns: 700000000}, // ~6x: regression
 	}
-	regressions, missing := check(guard, observed, 4.0)
+	regressions, missing := check(guard, obs, 4.0)
 	if len(regressions) != 1 || !strings.Contains(regressions[0], "BenchmarkFig6RunningTime") {
 		t.Fatalf("regressions = %v, want exactly the Fig6 entry", regressions)
 	}
@@ -54,9 +76,47 @@ func TestCheckFlagsOnlyGrossRegressions(t *testing.T) {
 	}
 }
 
+func TestCheckGuardsMemoryMetrics(t *testing.T) {
+	guard := map[string]guardEntry{
+		"BenchmarkX": {NsPerOp: 1000, BPerOp: 100, AllocsPerOp: 10},
+	}
+	// Bytes regressed ~9x, allocs fine, ns fine.
+	obs := map[string]*observed{
+		"BenchmarkX": {ns: 1100, bytes: 900, allocs: 12, hasMem: true},
+	}
+	regressions, missing := check(guard, obs, 4.0)
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "B/op") {
+		t.Fatalf("regressions = %v, want exactly the B/op entry", regressions)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("missing = %v, want none", missing)
+	}
+	// Memory-guarded benchmark run without -benchmem: warn, don't fail.
+	obs["BenchmarkX"] = &observed{ns: 1100}
+	regressions, missing = check(guard, obs, 4.0)
+	if len(regressions) != 0 {
+		t.Fatalf("regressions = %v, want none without -benchmem", regressions)
+	}
+	if len(missing) != 1 || !strings.Contains(missing[0], "-benchmem") {
+		t.Fatalf("missing = %v, want the -benchmem hint", missing)
+	}
+}
+
+func TestCheckMemoryOnlyGuardSkipsNs(t *testing.T) {
+	// A guard entry with no ns_per_op (memory-only) must not treat every
+	// observed ns/op as exceeding a zero baseline.
+	guard := map[string]guardEntry{"BenchmarkX": {BPerOp: 100}}
+	obs := map[string]*observed{"BenchmarkX": {ns: 123456, bytes: 90, allocs: 3, hasMem: true}}
+	regressions, missing := check(guard, obs, 4.0)
+	if len(regressions) != 0 || len(missing) != 0 {
+		t.Fatalf("regressions=%v missing=%v, want none", regressions, missing)
+	}
+}
+
 func TestCheckPassesAtBaseline(t *testing.T) {
 	guard := map[string]guardEntry{"BenchmarkX": {NsPerOp: 1000}}
-	regressions, missing := check(guard, map[string]float64{"BenchmarkX": 1000}, 4.0)
+	obs := map[string]*observed{"BenchmarkX": {ns: 1000}}
+	regressions, missing := check(guard, obs, 4.0)
 	if len(regressions) != 0 || len(missing) != 0 {
 		t.Fatalf("regressions=%v missing=%v, want none", regressions, missing)
 	}

@@ -5,11 +5,17 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/query"
 	"repro/internal/stream"
 	"repro/internal/topology"
 )
 
-// Handler consumes tuples delivered to a local subscriber.
+// Handler consumes tuples delivered to a local subscriber. The delivered
+// tuple is owned by the broker's subscribers collectively: full-tuple
+// (nil-projection) deliveries of one routed message share one attribute
+// map, so handlers must treat the tuple as read-only — a handler that needs
+// to mutate attributes copies them first. Retaining the tuple (e.g. in a
+// query window) is fine.
 type Handler func(sub *Subscription, t stream.Tuple)
 
 // Peer is the broker-to-broker protocol: the four message kinds that cross
@@ -95,14 +101,27 @@ type Broker struct {
 	// linear path is the reference implementation and the pre-index
 	// benchmark baseline.
 	linearMatch bool
+	// noPrune disables attribute-level candidate pruning (attrindex.go),
+	// so matching always scans the full per-stream posting list — the
+	// first-generation indexed matcher, kept selectable as the
+	// pruned-path baseline for benchmarks.
+	noPrune bool
 	// matchScratch collects per-neighbor matched candidates under mu,
-	// avoiding a per-tuple allocation on the indexed path.
+	// avoiding a per-tuple allocation on the indexed path; stabScratch
+	// and selScratch back the prune index's stab and merged-selection
+	// sets the same way.
 	matchScratch []*compiledSub
+	stabScratch  []int32
+	selScratch   []int32
 	// seq numbers the subscription epochs originated by this broker's
 	// clients: each Subscribe stamps the next value, so a re-subscribe
 	// of a reused ID supersedes the records (and outruns stale
 	// retractions) of the previous incarnation everywhere.
 	seq uint64
+	// recCount numbers every record (local or remote) this broker
+	// installs, giving compiledSub.regSeq its broker-wide registration
+	// order.
+	recCount uint64
 }
 
 // NewBroker creates a broker wired to a fabric. Neighbors are added with
@@ -124,6 +143,16 @@ func NewBroker(net Fabric, node topology.NodeID) *Broker {
 func (b *Broker) SetLinearMatching(on bool) {
 	b.mu.Lock()
 	b.linearMatch = on
+	b.mu.Unlock()
+}
+
+// SetAttrPruning switches attribute-level candidate pruning on the indexed
+// matching path (on by default). Pruned and unpruned matching produce
+// identical decisions — the unpruned path is retained as the baseline the
+// selectivity benchmarks compare against.
+func (b *Broker) SetAttrPruning(on bool) {
+	b.mu.Lock()
+	b.noPrune = !on
 	b.mu.Unlock()
 }
 
@@ -188,10 +217,11 @@ func (b *Broker) advertFrom(from topology.NodeID, streamName string) {
 func (b *Broker) replayLocked(from topology.NodeID, streamName string) []*Subscription {
 	var out []*Subscription
 	consider := func(c *compiledSub) {
-		if c.sentTo[from] {
+		if c.sentTo[from] || c.coveredBy[from] != nil {
 			return
 		}
-		if b.coveredByLocalToward(from, c.sub) || b.coveredExcept(from, c.sub) {
+		if cov := b.coverFor(from, c.sub, query.SelectionIntervalsByAttr(c.sub.Filters)); cov != nil {
+			suppressEdge(cov, c, from)
 			return
 		}
 		c.sentTo[from] = true
@@ -200,7 +230,7 @@ func (b *Broker) replayLocked(from topology.NodeID, streamName string) []*Subscr
 	for _, c := range b.idx.locals.byStream[streamName] {
 		consider(c)
 	}
-	for _, d := range sortedDirs(b.idx.dirs) {
+	for _, d := range b.idx.dirOrder {
 		if d == from {
 			continue
 		}
@@ -233,6 +263,9 @@ func (b *Broker) Subscribe(sub *Subscription, h Handler) error {
 	sub.Seq = b.seq
 	c := compileSub(sub, h)
 	c.seq = sub.Seq
+	c.srcDir = -1
+	b.recCount++
+	c.regSeq = b.recCount
 	c.sentTo = make(map[topology.NodeID]bool)
 	b.idx.locals.add(c)
 	b.mu.Unlock()
@@ -255,7 +288,8 @@ func (b *Broker) Unsubscribe(id string) {
 	}
 	targetSet := make(map[topology.NodeID]bool)
 	var seq uint64
-	streams := make(map[string]bool)
+	var streams map[string]bool // linear-reference sweep only
+	var edges []covEdge
 	for _, c := range removed {
 		for n := range c.sentTo {
 			targetSet[n] = true
@@ -263,12 +297,21 @@ func (b *Broker) Unsubscribe(id string) {
 		if c.seq > seq {
 			seq = c.seq
 		}
-		for _, s := range c.sub.Streams {
-			streams[s] = true
+		if b.linearMatch {
+			if streams == nil {
+				streams = make(map[string]bool)
+			}
+			for _, s := range c.sub.Streams {
+				streams[s] = true
+			}
 		}
+		edges = append(edges, detachCovEdges(c)...)
 	}
 	targets := sortedNodeSet(targetSet)
-	resend := b.unsuppressLocked(streams, targets)
+	if len(removed) > 1 {
+		sortCovEdges(edges)
+	}
+	resend := b.unsuppressLocked(streams, targets, edges)
 	b.mu.Unlock()
 	for _, n := range targets {
 		b.net.CountControl(b.Node, n, retractSize)
@@ -306,12 +349,16 @@ func (b *Broker) retractFrom(from topology.NodeID, id string, seq uint64) {
 		return // stale retraction: superseded by a newer epoch
 	}
 	d.remove(rec)
+	edges := detachCovEdges(rec)
 	targets := sortedNodeSet(rec.sentTo)
-	streams := make(map[string]bool, len(rec.sub.Streams))
-	for _, s := range rec.sub.Streams {
-		streams[s] = true
+	var streams map[string]bool // linear-reference sweep only
+	if b.linearMatch {
+		streams = make(map[string]bool, len(rec.sub.Streams))
+		for _, s := range rec.sub.Streams {
+			streams[s] = true
+		}
 	}
-	resend := b.unsuppressLocked(streams, targets)
+	resend := b.unsuppressLocked(streams, targets, edges)
 	b.mu.Unlock()
 	for _, n := range targets {
 		b.net.CountControl(b.Node, n, retractSize)
@@ -330,14 +377,23 @@ type pendSend struct {
 	sub *Subscription
 }
 
-// unsuppressLocked re-runs the propagation decision for every remaining
-// subscription that the just-removed one (with the given stream set) may
-// have been covering, toward the neighbors it had been sent to: a covering
-// subscription only ever suppresses others on a subset of its own streams,
-// and only toward neighbors in its sentTo. Eligible subscriptions are
-// marked sent and returned for delivery outside the lock. Caller holds
-// b.mu (with the removed record already gone).
-func (b *Broker) unsuppressLocked(streams map[string]bool, targets []topology.NodeID) []pendSend {
+// unsuppressLocked re-runs the propagation decision for the subscriptions a
+// just-removed record may have been covering. On the indexed path that is
+// exactly the removed record's suppression edges (already detached and in
+// canonical sweep order); on the linear reference path it is the full sweep
+// over every record sharing a stream with the removed one, toward the
+// neighbors it had been sent to — the pre-index algorithm, kept as the
+// contract. Both paths re-decide with the same cover scan in the same
+// order, so decisions and re-propagation order are bit-identical; the edge
+// set just lets the indexed path skip the records whose suppressor was not
+// the removed one (their decision cannot have changed — covering is
+// monotone in sentTo, which only grows between removals). Eligible
+// subscriptions are marked sent and returned for delivery outside the
+// lock. Caller holds b.mu (with the removed record already gone).
+func (b *Broker) unsuppressLocked(streams map[string]bool, targets []topology.NodeID, edges []covEdge) []pendSend {
+	if !b.linearMatch {
+		return b.unsuppressEdges(edges)
+	}
 	if len(targets) == 0 {
 		return nil
 	}
@@ -349,7 +405,13 @@ func (b *Broker) unsuppressLocked(streams map[string]bool, targets []topology.No
 		if !b.advertisesAny(n, c.sub.Streams) {
 			return
 		}
-		if b.coveredByLocalToward(n, c.sub) || b.coveredExcept(n, c.sub) {
+		if c.coveredBy[n] != nil {
+			// Still suppressed by a suppressor that was not removed:
+			// its covering (recorded, sent toward n) is intact.
+			return
+		}
+		if cov := b.coverFor(n, c.sub, query.SelectionIntervalsByAttr(c.sub.Filters)); cov != nil {
+			suppressEdge(cov, c, n)
 			return
 		}
 		c.sentTo[n] = true
@@ -359,7 +421,7 @@ func (b *Broker) unsuppressLocked(streams map[string]bool, targets []topology.No
 		for _, c := range b.idx.locals.subs {
 			consider(c, n)
 		}
-		for _, d := range sortedDirs(b.idx.dirs) {
+		for _, d := range b.idx.dirOrder {
 			if d == n {
 				continue
 			}
@@ -367,6 +429,47 @@ func (b *Broker) unsuppressLocked(streams map[string]bool, targets []topology.No
 				consider(c, n)
 			}
 		}
+	}
+	return out
+}
+
+// unsuppressEdges is the covered-by-index un-suppression: each detached
+// suppression edge is one (record, neighbor) decision to re-run — either a
+// surviving cover takes over (a fresh edge is recorded) or the record
+// finally propagates. Visiting edges in canonical sweep order makes a
+// record sent early in the pass eligible to cover records considered later,
+// exactly as the reference sweep's in-pass covering does.
+func (b *Broker) unsuppressEdges(edges []covEdge) []pendSend {
+	var out []pendSend
+	// A record suppressed toward several neighbors appears once per edge;
+	// memoize its folded filter intervals so the cover scans compile the
+	// conjunction once per record, not once per edge.
+	var ivsCache map[*compiledSub]map[string]query.Interval
+	ivsFor := func(c *compiledSub) map[string]query.Interval {
+		if ivs, ok := ivsCache[c]; ok {
+			return ivs
+		}
+		ivs := query.SelectionIntervalsByAttr(c.sub.Filters)
+		if ivsCache == nil {
+			ivsCache = make(map[*compiledSub]map[string]query.Interval)
+		}
+		ivsCache[c] = ivs
+		return ivs
+	}
+	for _, e := range edges {
+		c, n := e.rec, e.to
+		if c.sentTo[n] || c.coveredBy[n] != nil {
+			continue
+		}
+		if !b.advertisesAny(n, c.sub.Streams) {
+			continue
+		}
+		if cov := b.coverFor(n, c.sub, ivsFor(c)); cov != nil {
+			suppressEdge(cov, c, n)
+			continue
+		}
+		c.sentTo[n] = true
+		out = append(out, pendSend{to: n, sub: c.sub})
 	}
 	return out
 }
@@ -388,6 +491,13 @@ func (b *Broker) propagate(sub *Subscription, from topology.NodeID) {
 	}
 	b.mu.Lock()
 	var rec *compiledSub
+	// State released by a superseded older epoch of the same ID, to
+	// un-suppress after the fresh record has made its own propagation
+	// decisions (so it can take over the covering it still provides).
+	var supEdges []covEdge
+	var supStreams map[string]bool
+	var supTargets []topology.NodeID
+	superseded := false
 	if from >= 0 {
 		d := b.idx.dir(from)
 		if ts, ok := d.retracted[sub.ID]; ok {
@@ -408,11 +518,25 @@ func (b *Broker) propagate(sub *Subscription, from topology.NodeID) {
 				return // duplicate or stale epoch: stop the flood
 			}
 			// Newer epoch of a reused ID: the fresh record replaces
-			// the old one and re-propagates from scratch.
+			// the old one and re-propagates from scratch. Whatever the
+			// old epoch was suppressing is re-decided below — the new
+			// epoch may no longer cover it.
 			d.remove(prev)
+			supEdges = detachCovEdges(prev)
+			superseded = true
+			supTargets = sortedNodeSet(prev.sentTo)
+			if b.linearMatch {
+				supStreams = make(map[string]bool, len(prev.sub.Streams))
+				for _, s := range prev.sub.Streams {
+					supStreams[s] = true
+				}
+			}
 		}
 		rec = compileSub(sub.Clone(), nil)
 		rec.seq = sub.Seq
+		rec.srcDir = from
+		b.recCount++
+		rec.regSeq = b.recCount
 		rec.sentTo = make(map[topology.NodeID]bool)
 		d.add(rec)
 	} else {
@@ -427,9 +551,10 @@ func (b *Broker) propagate(sub *Subscription, from topology.NodeID) {
 			return // unsubscribed or superseded since Subscribe
 		}
 	}
+	ivs := query.SelectionIntervalsByAttr(sub.Filters)
 	targets := make([]topology.NodeID, 0, len(b.neighbors))
 	for _, n := range b.neighbors {
-		if n == from || rec.sentTo[n] {
+		if n == from || rec.sentTo[n] || rec.coveredBy[n] != nil {
 			continue
 		}
 		if !b.advertisesAny(n, sub.Streams) {
@@ -441,52 +566,65 @@ func (b *Broker) propagate(sub *Subscription, from topology.NodeID) {
 		// sent there. Suppression is gated on the covering record's
 		// own sentTo — a subscription recorded before the relevant
 		// adverts arrived was sent nowhere and guarantees nothing.
-		if b.coveredByLocalToward(n, sub) || b.coveredExcept(n, sub) {
+		if cov := b.coverFor(n, sub, ivs); cov != nil {
+			suppressEdge(cov, rec, n)
 			continue
 		}
 		rec.sentTo[n] = true
 		targets = append(targets, n)
+	}
+	var resend []pendSend
+	if superseded {
+		resend = b.unsuppressLocked(supStreams, supTargets, supEdges)
 	}
 	b.mu.Unlock()
 	for _, n := range targets {
 		b.net.CountControl(b.Node, n, subSize(sub))
 		b.net.Peer(n).PropagateFrom(sub, b.Node)
 	}
+	for _, s := range resend {
+		b.net.CountControl(b.Node, s.to, subSize(s.sub))
+		b.net.Peer(s.to).PropagateFrom(s.sub, b.Node)
+	}
 }
 
-// coveredByLocalToward reports whether a different local client
-// subscription that was actually propagated to neighbor n covers sub.
-func (b *Broker) coveredByLocalToward(n topology.NodeID, sub *Subscription) bool {
+// coverFor returns the first recorded subscription — locals in registration
+// order, then each direction other than n in ascending order — that was
+// actually propagated to n and covers sub, or nil. ivs must be
+// query.SelectionIntervalsByAttr(sub.Filters), hoisted by the caller so a
+// scan over many candidate covers compiles sub's filter conjunction once.
+// The returned record is the suppressor the covered-by index records; the
+// scan order is deterministic, so repeated runs pick the same suppressor.
+// A cover must list every stream of sub, so on the indexed path only the
+// posting list of sub's first stream is examined (the linear reference
+// scans every record of each direction — same candidates in the same
+// relative order, since covers always appear in that posting list).
+func (b *Broker) coverFor(n topology.NodeID, sub *Subscription, ivs map[string]query.Interval) *compiledSub {
 	cands := b.idx.locals.coverCandidates(sub)
 	if b.linearMatch {
 		cands = b.idx.locals.subs
 	}
 	for _, c := range cands {
-		if c.sentTo[n] && c.sub.ID != sub.ID && c.sub.Covers(sub) {
-			return true
+		if c.sentTo[n] && c.sub.ID != sub.ID && c.sub.CoversPrepared(sub, ivs) {
+			return c
 		}
 	}
-	return false
-}
-
-// coveredExcept reports whether a different subscription recorded from any
-// direction other than n, and actually propagated to n, covers sub.
-func (b *Broker) coveredExcept(n topology.NodeID, sub *Subscription) bool {
-	for dir, d := range b.idx.dirs {
+	for _, dir := range b.idx.dirOrder {
 		if dir == n {
 			continue
 		}
+		d := b.idx.dirs[dir]
 		cands := d.coverCandidates(sub)
 		if b.linearMatch {
 			cands = d.subs
 		}
 		for _, c := range cands {
-			if c.sentTo[n] && c.sub.ID != sub.ID && c.sub.Covers(sub) {
-				return true
+			if c.sentTo[n] && c.sub.ID != sub.ID && c.sub.CoversPrepared(sub, ivs) {
+				return c
 			}
 		}
 	}
-	return false
+	return nil
 }
 
 func (b *Broker) advertisesAny(neighbor topology.NodeID, streams []string) bool {
@@ -522,34 +660,52 @@ type hop struct {
 	attrs map[string]bool // nil = all
 }
 
+// routeBufs are the per-route-call delivery and hop buffers, pooled so the
+// steady-state route path allocates neither slice. They cannot live on the
+// broker: handlers are free to call back into the broker (a nested route
+// pops its own buffers from the pool).
+type routeBufs struct {
+	locals []delivery
+	hops   []hop
+}
+
+var routeBufPool = sync.Pool{New: func() any { return new(routeBufs) }}
+
 // route delivers the tuple locally and forwards it once per interested
 // neighbor, projecting the payload down to the union of downstream
 // attribute interests (early projection, §2). Matching runs on the inverted
-// index (matchIndexed) or on the retained linear reference (matchLinear);
-// the two produce identical decisions.
+// index (matchIndexed, with attribute-level candidate pruning unless
+// disabled) or on the retained linear reference (matchLinear); the paths
+// produce identical decisions.
 func (b *Broker) route(t stream.Tuple, from topology.NodeID) {
+	bufs := routeBufPool.Get().(*routeBufs)
+	locals, hops := bufs.locals[:0], bufs.hops[:0]
 	b.mu.Lock()
-	var locals []delivery
-	var hops []hop
 	if b.linearMatch {
-		locals, hops = b.matchLinear(t, from)
+		locals, hops = b.matchLinear(t, from, locals, hops)
 	} else {
-		locals, hops = b.matchIndexed(t, from)
+		locals, hops = b.matchIndexed(t, from, locals, hops)
 	}
 	b.mu.Unlock()
 
 	// Local deliveries run first, in subscription-registration order,
 	// outside the lock so handlers are free to call back into the broker.
-	// A subscription that keeps every attribute gets its own copy of the
-	// attribute map so a handler mutating its tuple cannot corrupt the
-	// forwarded copies or a later handler's view.
+	// Full-tuple (nil-projection) deliveries share ONE copy of the
+	// attribute map per route call: the copy decouples retaining
+	// subscribers from a publisher reusing its tuple after Publish, and
+	// delivered tuples are read-only by contract (see Handler), so the
+	// old per-match defensive copy is not needed.
+	var fullAttrs map[string]stream.Value
 	for _, d := range locals {
 		pt := projectAttrs(t, d.keep)
 		if d.keep == nil {
-			pt.Attrs = make(map[string]stream.Value, len(t.Attrs))
-			for a, v := range t.Attrs {
-				pt.Attrs[a] = v
+			if fullAttrs == nil {
+				fullAttrs = make(map[string]stream.Value, len(t.Attrs))
+				for a, v := range t.Attrs {
+					fullAttrs[a] = v
+				}
 			}
+			pt.Attrs = fullAttrs
 		}
 		d.h(d.sub, pt)
 	}
@@ -558,20 +714,22 @@ func (b *Broker) route(t stream.Tuple, from topology.NodeID) {
 		b.net.CountData(b.Node, h.to, fwd.Size)
 		b.net.Peer(h.to).RouteFrom(fwd, b.Node)
 	}
+	clear(locals) // drop handler/sub/map references before pooling
+	clear(hops)
+	bufs.locals, bufs.hops = locals[:0], hops[:0]
+	routeBufPool.Put(bufs)
 }
 
 // matchLinear is the reference matcher: every local subscription and every
 // recorded subscription of each outgoing direction is tested against the
 // tuple with the uncompiled Subscription.Matches walk. Retained for the
 // equivalence tests and the pre-index baseline.
-func (b *Broker) matchLinear(t stream.Tuple, from topology.NodeID) ([]delivery, []hop) {
-	var locals []delivery
+func (b *Broker) matchLinear(t stream.Tuple, from topology.NodeID, locals []delivery, hops []hop) ([]delivery, []hop) {
 	for _, c := range b.idx.locals.subs {
 		if c.sub.Matches(t) && c.handler != nil {
 			locals = append(locals, delivery{h: c.handler, sub: c.sub, keep: keepSet(c.sub.Attrs)})
 		}
 	}
-	var hops []hop
 	for _, n := range b.neighbors {
 		if n == from {
 			continue
@@ -611,18 +769,30 @@ func (b *Broker) matchLinear(t stream.Tuple, from topology.NodeID) ([]delivery, 
 }
 
 // matchIndexed matches via the inverted index: only the posting list of the
-// tuple's stream is consulted per direction, each candidate evaluates its
-// compiled filter groups, and when every candidate matches, the forwarding
-// projection is the direction's precomputed per-stream union instead of a
-// per-tuple rebuild.
-func (b *Broker) matchIndexed(t stream.Tuple, from topology.NodeID) ([]delivery, []hop) {
-	var locals []delivery
-	for _, c := range b.idx.locals.byStream[t.Stream] {
-		if c.handler != nil && c.matches(t) {
-			locals = append(locals, delivery{h: c.handler, sub: c.sub, keep: c.keep})
+// tuple's stream is consulted per direction — cut down further to the
+// candidates whose compiled interval on the most selective constrained
+// attribute admits the tuple's value (prunedCandidates), in posting-list
+// order — each candidate evaluates its compiled filter groups, and when
+// every candidate matches, the forwarding projection is the direction's
+// precomputed per-stream union instead of a per-tuple rebuild. Pruning
+// skips only candidates whose exact matcher would reject the tuple anyway,
+// so deliveries, forwarding decisions and projections are identical with
+// pruning on or off (and identical to matchLinear).
+func (b *Broker) matchIndexed(t stream.Tuple, from topology.NodeID, locals []delivery, hops []hop) ([]delivery, []hop) {
+	lcands := b.idx.locals.byStream[t.Stream]
+	if sel, ok := b.prunedCandidates(b.idx.locals, t, lcands); ok {
+		for _, p := range sel {
+			if c := lcands[p]; c.handler != nil && c.matches(t) {
+				locals = append(locals, delivery{h: c.handler, sub: c.sub, keep: c.keep})
+			}
+		}
+	} else {
+		for _, c := range lcands {
+			if c.handler != nil && c.matches(t) {
+				locals = append(locals, delivery{h: c.handler, sub: c.sub, keep: c.keep})
+			}
 		}
 	}
-	var hops []hop
 	for _, n := range b.neighbors {
 		if n == from {
 			continue
@@ -637,15 +807,29 @@ func (b *Broker) matchIndexed(t stream.Tuple, from topology.NodeID) ([]delivery,
 		}
 		matched := b.matchScratch[:0]
 		all := false
-		for _, c := range cands {
-			if !c.matches(t) {
-				continue
+		if sel, ok := b.prunedCandidates(d, t, cands); ok {
+			for _, p := range sel {
+				c := cands[p]
+				if !c.matches(t) {
+					continue
+				}
+				if c.keep == nil {
+					all = true
+					break
+				}
+				matched = append(matched, c)
 			}
-			if c.keep == nil {
-				all = true
-				break
+		} else {
+			for _, c := range cands {
+				if !c.matches(t) {
+					continue
+				}
+				if c.keep == nil {
+					all = true
+					break
+				}
+				matched = append(matched, c)
 			}
-			matched = append(matched, c)
 		}
 		b.matchScratch = matched // retain grown capacity for the next tuple
 		var wanted map[string]bool
@@ -655,11 +839,12 @@ func (b *Broker) matchIndexed(t stream.Tuple, from topology.NodeID) ([]delivery,
 		case len(matched) == 0:
 			continue // not interested
 		case len(matched) == len(cands):
-			// Every candidate matched, and none keeps all attributes
-			// (such a candidate would have matched too): the
-			// incrementally maintained union IS the per-tuple union.
-			// The map is immutable (copy-on-write on subscribe), so
-			// handing it out is safe.
+			// Every posting-list candidate matched (a pruned scan can
+			// only reach this count by having evaluated the whole
+			// list), and none keeps all attributes (such a candidate
+			// would have matched too): the incrementally maintained
+			// union IS the per-tuple union. The map is immutable
+			// (copy-on-write on subscribe), so handing it out is safe.
 			wanted = d.union[t.Stream].keep
 		default:
 			wanted = make(map[string]bool)

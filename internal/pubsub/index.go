@@ -2,6 +2,7 @@ package pubsub
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/query"
 	"repro/internal/stream"
@@ -43,6 +44,10 @@ import (
 type matchIndex struct {
 	locals *dirIndex
 	dirs   map[topology.NodeID]*dirIndex
+	// dirOrder caches the direction keys ascending, so cover scans, replay
+	// and un-suppression sweeps iterate deterministically without
+	// re-sorting the key set per call.
+	dirOrder []topology.NodeID
 }
 
 func newMatchIndex() *matchIndex {
@@ -55,6 +60,10 @@ func (m *matchIndex) dir(n topology.NodeID) *dirIndex {
 	if !ok {
 		d = newDirIndex()
 		m.dirs[n] = d
+		at := sort.Search(len(m.dirOrder), func(i int) bool { return m.dirOrder[i] >= n })
+		m.dirOrder = append(m.dirOrder, 0)
+		copy(m.dirOrder[at+1:], m.dirOrder[at:])
+		m.dirOrder[at] = n
 	}
 	return d
 }
@@ -81,6 +90,16 @@ type dirIndex struct {
 	// consumed by the propagation it suppresses, or superseded by a
 	// newer epoch of the ID.
 	retracted map[string]uint64
+	// aidx caches the per-stream attribute-prune index (attrindex.go).
+	// Invalidated on add/remove of a subscription listing the stream and
+	// rebuilt lazily by the first route through it; a cached nil records
+	// that the stream's population is not worth indexing.
+	aidx map[string]*attrPruneIndex
+	// byID indexes records by subscription ID in registration order, so
+	// find/removeByID are O(records per ID) instead of a scan over the
+	// whole direction — the dominant cost of a subscribe/unsubscribe
+	// cycle against a large stable population.
+	byID map[string][]*compiledSub
 }
 
 func newDirIndex() *dirIndex {
@@ -88,13 +107,28 @@ func newDirIndex() *dirIndex {
 		byStream:  make(map[string][]*compiledSub),
 		union:     make(map[string]*attrUnion),
 		retracted: make(map[string]uint64),
+		aidx:      make(map[string]*attrPruneIndex),
+		byID:      make(map[string][]*compiledSub),
 	}
+}
+
+// attrIndex returns the stream's attribute-prune index, building and
+// caching it on first use after a subscription change. Caller holds the
+// broker lock.
+func (d *dirIndex) attrIndex(s string) *attrPruneIndex {
+	if ai, ok := d.aidx[s]; ok {
+		return ai
+	}
+	ai := buildAttrPruneIndex(d.byStream[s])
+	d.aidx[s] = ai
+	return ai
 }
 
 // add appends a compiled subscription, updating posting lists and projection
 // unions.
 func (d *dirIndex) add(c *compiledSub) {
 	d.subs = append(d.subs, c)
+	d.byID[c.sub.ID] = append(d.byID[c.sub.ID], c)
 	seen := make(map[string]bool, len(c.sub.Streams))
 	for _, s := range c.sub.Streams {
 		if seen[s] {
@@ -103,6 +137,7 @@ func (d *dirIndex) add(c *compiledSub) {
 		seen[s] = true
 		d.byStream[s] = append(d.byStream[s], c)
 		d.union[s] = d.union[s].extend(c.keep)
+		delete(d.aidx, s)
 	}
 }
 
@@ -111,12 +146,11 @@ func (d *dirIndex) add(c *compiledSub) {
 // on newer epochs); locals may briefly hold more when a client reuses an ID
 // without unsubscribing, and then the newest registration owns it.
 func (d *dirIndex) find(id string) *compiledSub {
-	for i := len(d.subs) - 1; i >= 0; i-- {
-		if d.subs[i].sub.ID == id {
-			return d.subs[i]
-		}
+	recs := d.byID[id]
+	if len(recs) == 0 {
+		return nil
 	}
-	return nil
+	return recs[len(recs)-1]
 }
 
 // remove deletes one record, keeping posting lists in registration order
@@ -130,12 +164,25 @@ func (d *dirIndex) remove(c *compiledSub) {
 			break
 		}
 	}
+	ids := d.byID[c.sub.ID]
+	for i, x := range ids {
+		if x == c {
+			ids = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(ids) == 0 {
+		delete(d.byID, c.sub.ID)
+	} else {
+		d.byID[c.sub.ID] = ids
+	}
 	seen := make(map[string]bool, len(c.sub.Streams))
 	for _, s := range c.sub.Streams {
 		if seen[s] {
 			continue
 		}
 		seen[s] = true
+		delete(d.aidx, s)
 		list := d.byStream[s]
 		for i, x := range list {
 			if x == c {
@@ -149,11 +196,7 @@ func (d *dirIndex) remove(c *compiledSub) {
 			continue
 		}
 		d.byStream[s] = list
-		var u *attrUnion
-		for _, x := range list {
-			u = u.extend(x.keep)
-		}
-		d.union[s] = u
+		d.union[s] = unionOf(list)
 	}
 }
 
@@ -161,12 +204,7 @@ func (d *dirIndex) remove(c *compiledSub) {
 // returns them in registration order (empty when the ID is unknown — the
 // caller treats that as a no-op).
 func (d *dirIndex) removeByID(id string) []*compiledSub {
-	var removed []*compiledSub
-	for _, c := range d.subs {
-		if c.sub.ID == id {
-			removed = append(removed, c)
-		}
-	}
+	removed := append([]*compiledSub(nil), d.byID[id]...)
 	for _, c := range removed {
 		d.remove(c)
 	}
@@ -186,6 +224,27 @@ func (d *dirIndex) coverCandidates(sub *Subscription) []*compiledSub {
 type attrUnion struct {
 	all  bool
 	keep map[string]bool
+}
+
+// unionOf rebuilds a projection union from scratch — the recompute path of
+// remove, folding in place instead of chaining per-candidate extends. The
+// result is content-identical to the incremental chain: all is set when any
+// candidate keeps every attribute, keep unions the explicit lists.
+func unionOf(list []*compiledSub) *attrUnion {
+	u := &attrUnion{}
+	for _, c := range list {
+		if c.keep == nil {
+			u.all = true
+			continue
+		}
+		if u.keep == nil {
+			u.keep = make(map[string]bool, len(c.keep))
+		}
+		for a := range c.keep {
+			u.keep[a] = true
+		}
+	}
+	return u
 }
 
 // extend returns the union grown by one subscription's projection set. The
@@ -226,16 +285,95 @@ type compiledSub struct {
 	// at record time): a later incarnation of a reused ID carries a
 	// higher seq, superseding records and outrunning stale retractions.
 	seq uint64
+	// srcDir is the direction the record was received from (-1 for local
+	// client subscriptions) and regSeq its broker-wide registration
+	// number. Together they define the canonical sweep order (locals
+	// first, then directions ascending, registration order within) that
+	// un-suppression re-propagates in, whichever enumeration produced the
+	// candidates.
+	srcDir topology.NodeID
+	regSeq uint64
 	// sentTo records the neighbors this subscription was actually
 	// propagated to. Covering suppression of another subscription toward
 	// neighbor n is sound only when the covering one was sent to n, and
 	// retraction follows exactly these edges. Mutated under Broker.mu.
 	sentTo map[topology.NodeID]bool
+	// coveredBy is the covered-by churn index, forward side: coveredBy[n]
+	// is the record whose propagation toward n suppressed this one.
+	// Invariant (maintained at propagate/replay/retract/un-suppress time,
+	// under Broker.mu): the suppressor is still recorded, has sentTo[n],
+	// and Covers this subscription; the entry is deleted the moment the
+	// suppressor is removed or this record is removed or sent.
+	coveredBy map[topology.NodeID]*compiledSub
+	// suppresses is the reverse side: every (record, neighbor) decision
+	// this record's propagation is currently suppressing. Retraction
+	// un-suppression visits exactly this set instead of every record
+	// sharing a stream.
+	suppresses map[covEdge]bool
 	// keep mirrors sub.Attrs as a set: nil keeps every attribute; an empty
 	// non-nil map mirrors an explicitly empty projection list.
 	keep   map[string]bool
 	groups []attrGroup
 	raw    []query.Predicate
+}
+
+// covEdge is one suppressed propagation decision: rec was not sent toward
+// to because a covering subscription (the record whose suppresses set holds
+// the edge) already was.
+type covEdge struct {
+	rec *compiledSub
+	to  topology.NodeID
+}
+
+// suppressEdge records that cov's propagation toward n suppresses rec.
+func suppressEdge(cov, rec *compiledSub, n topology.NodeID) {
+	if rec.coveredBy == nil {
+		rec.coveredBy = make(map[topology.NodeID]*compiledSub)
+	}
+	rec.coveredBy[n] = cov
+	if cov.suppresses == nil {
+		cov.suppresses = make(map[covEdge]bool)
+	}
+	cov.suppresses[covEdge{rec: rec, to: n}] = true
+}
+
+// detachCovEdges unlinks a removed record from the covered-by index: edges
+// where c is the covered side are deleted from their suppressors, and the
+// decisions c itself was suppressing are returned in canonical sweep order
+// for reconsideration (their coveredBy entries are cleared — each must now
+// either find a new suppressor or be sent).
+func detachCovEdges(c *compiledSub) []covEdge {
+	for n, cov := range c.coveredBy {
+		delete(cov.suppresses, covEdge{rec: c, to: n})
+	}
+	c.coveredBy = nil
+	if len(c.suppresses) == 0 {
+		c.suppresses = nil
+		return nil
+	}
+	out := make([]covEdge, 0, len(c.suppresses))
+	for e := range c.suppresses {
+		delete(e.rec.coveredBy, e.to)
+		out = append(out, e)
+	}
+	c.suppresses = nil
+	sortCovEdges(out)
+	return out
+}
+
+// sortCovEdges orders suppressed decisions the way the reference sweep
+// visits records: target neighbor ascending, then locals before remote
+// directions (srcDir ascending), then registration order.
+func sortCovEdges(edges []covEdge) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].to != edges[j].to {
+			return edges[i].to < edges[j].to
+		}
+		if edges[i].rec.srcDir != edges[j].rec.srcDir {
+			return edges[i].rec.srcDir < edges[j].rec.srcDir
+		}
+		return edges[i].rec.regSeq < edges[j].rec.regSeq
+	})
 }
 
 // listsAny reports whether the subscription lists any stream of the set —

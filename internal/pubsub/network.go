@@ -18,9 +18,10 @@ type Network struct {
 
 	mu      sync.Mutex
 	brokers map[topology.NodeID]*Broker
-	// linear records the matcher mode so dynamically joined brokers
-	// (AddBroker) inherit it.
-	linear bool
+	// linear and noPrune record the matcher mode so dynamically joined
+	// brokers (AddBroker) inherit it.
+	linear  bool
+	noPrune bool
 	// latency of each overlay link, keyed by ordered pair.
 	links map[[2]topology.NodeID]float64
 	// traffic in bytes per overlay link.
@@ -130,10 +131,13 @@ func (net *Network) AddBroker(n topology.NodeID) *Broker {
 	net.brokers[n] = b
 	net.addLink(attach, n, best)
 	attachBroker := net.brokers[attach]
-	lin := net.linear
+	lin, noPrune := net.linear, net.noPrune
 	net.mu.Unlock()
 	if lin {
 		b.SetLinearMatching(true)
+	}
+	if noPrune {
+		b.SetAttrPruning(false)
 	}
 	attachBroker.syncAdvertsTo(n)
 	return b
@@ -243,6 +247,22 @@ func (net *Network) SetLinearMatching(on bool) {
 	net.mu.Unlock()
 	for _, b := range brokers {
 		b.SetLinearMatching(on)
+	}
+}
+
+// SetAttrPruning flips attribute-level candidate pruning on every broker
+// (see Broker.SetAttrPruning). On by default; the unpruned indexed matcher
+// is the baseline the selectivity benchmarks compare against.
+func (net *Network) SetAttrPruning(on bool) {
+	net.mu.Lock()
+	net.noPrune = !on
+	brokers := make([]*Broker, 0, len(net.brokers))
+	for _, b := range net.brokers {
+		brokers = append(brokers, b)
+	}
+	net.mu.Unlock()
+	for _, b := range brokers {
+		b.SetAttrPruning(on)
 	}
 }
 

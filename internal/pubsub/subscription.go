@@ -98,6 +98,15 @@ func evalFilter(p query.Predicate, t stream.Tuple) bool {
 // covering pair (e.g. filters over disjoint attribute sets), which costs
 // extra propagation but never correctness.
 func (s *Subscription) Covers(o *Subscription) bool {
+	return s.CoversPrepared(o, query.SelectionIntervalsByAttr(o.Filters))
+}
+
+// CoversPrepared is Covers with o's filter conjunction already folded into
+// per-attribute intervals (query.SelectionIntervalsByAttr(o.Filters)).
+// Cover scans test many candidate covers against one subscription; hoisting
+// the fold makes the scan cost one interval-implication walk per candidate
+// instead of one compilation each.
+func (s *Subscription) CoversPrepared(o *Subscription, ivs map[string]query.Interval) bool {
 	for _, st := range o.Streams {
 		if !s.hasStream(st) {
 			return false
@@ -119,7 +128,6 @@ func (s *Subscription) Covers(o *Subscription) bool {
 		}
 	}
 	// Filters: o's conjunction must imply every filter of s.
-	ivs := query.SelectionIntervalsByAttr(o.Filters)
 	for _, f := range s.Filters {
 		f = f.Normalize()
 		if !f.IsSelection() || f.Right.Lit == nil {

@@ -1,0 +1,99 @@
+package query
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// randomBoundInterval draws an interval through Constrain so open/closed
+// combinations and contradictions arise the same way compiled subscription
+// filters produce them.
+func randomBoundInterval(r *rand.Rand) Interval {
+	iv := FullInterval()
+	ops := []Op{Eq, Ne, Lt, Le, Gt, Ge}
+	for i := 0; i < r.IntN(4); i++ {
+		iv = iv.Constrain(ops[r.IntN(len(ops))], stream.FloatVal(float64(r.IntN(11)-5)))
+	}
+	return iv
+}
+
+// TestAdmitsBoundsSupersetOfContainsFloat: the pure-bound conjunction
+// AdmitsLower ∧ AdmitsUpper admits every value ContainsFloat admits — the
+// superset guarantee candidate pruning relies on.
+func TestAdmitsBoundsSupersetOfContainsFloat(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		r := rand.New(rand.NewPCG(seed, 11))
+		iv := randomBoundInterval(r)
+		for trial := 0; trial < 40; trial++ {
+			x := float64(r.IntN(15) - 7)
+			if iv.ContainsFloat(x) && !(iv.AdmitsLower(x) && iv.AdmitsUpper(x)) {
+				t.Fatalf("seed %d: %s contains %g but bounds reject it", seed, iv, x)
+			}
+		}
+	}
+}
+
+// TestBoundOrderMonotone: sorted by LowerLess, AdmitsLower(x) is a prefix
+// (monotone non-increasing); sorted by UpperLess, AdmitsUpper(x) is a
+// suffix. These are the invariants the prune index's binary searches and
+// stabbing-tree descent use.
+func TestBoundOrderMonotone(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		r := rand.New(rand.NewPCG(seed, 13))
+		ivs := make([]Interval, 30)
+		for i := range ivs {
+			ivs[i] = randomBoundInterval(r)
+		}
+		for trial := 0; trial < 20; trial++ {
+			x := float64(r.IntN(15) - 7)
+			sort.Slice(ivs, func(i, j int) bool { return LowerLess(ivs[i], ivs[j]) })
+			rejected := false
+			for _, iv := range ivs {
+				if !iv.AdmitsLower(x) {
+					rejected = true
+				} else if rejected {
+					t.Fatalf("seed %d: AdmitsLower(%g) not monotone over LowerLess order", seed, x)
+				}
+			}
+			sort.Slice(ivs, func(i, j int) bool { return UpperLess(ivs[i], ivs[j]) })
+			admitted := false
+			for _, iv := range ivs {
+				if iv.AdmitsUpper(x) {
+					admitted = true
+				} else if admitted {
+					t.Fatalf("seed %d: AdmitsUpper(%g) not monotone over UpperLess order", seed, x)
+				}
+			}
+		}
+	}
+}
+
+// TestUpperMax: the UpperMax of a set admits x iff some member admits x.
+func TestUpperMax(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		r := rand.New(rand.NewPCG(seed, 17))
+		n := 1 + r.IntN(8)
+		ivs := make([]Interval, n)
+		max := Interval{Hi: math.Inf(-1), HiOpen: true}
+		for i := range ivs {
+			ivs[i] = randomBoundInterval(r)
+			max = UpperMax(max, ivs[i])
+		}
+		for trial := 0; trial < 20; trial++ {
+			x := float64(r.IntN(15) - 7)
+			any := false
+			for _, iv := range ivs {
+				if iv.AdmitsUpper(x) {
+					any = true
+				}
+			}
+			if got := max.AdmitsUpper(x); got != any {
+				t.Fatalf("seed %d: UpperMax admits %g = %v, want %v", seed, x, got, any)
+			}
+		}
+	}
+}

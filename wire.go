@@ -281,6 +281,11 @@ func (m *Middleware) wireUserSide(h *QueryHandle) error {
 	}
 	windows := ri.residual.Windows
 	sink := h.sink
+	// A projected (non-star) subscription receives a private per-delivery
+	// map from the broker's projection, so the routing tag can be stripped
+	// in place; only star subscriptions get the shared full-tuple map (the
+	// pubsub.Handler read-only contract) and must copy before mutating.
+	sharedAttrs := sub.Attrs == nil
 	handler := func(_ *pubsub.Subscription, t stream.Tuple) {
 		// Re-enforce the windows the superset widened.
 		for alias, w := range windows {
@@ -293,7 +298,17 @@ func (m *Middleware) wireUserSide(h *QueryHandle) error {
 				return
 			}
 		}
-		delete(t.Attrs, queryTag)
+		if sharedAttrs {
+			attrs := make(map[string]stream.Value, len(t.Attrs))
+			for a, v := range t.Attrs {
+				if a != queryTag {
+					attrs[a] = v
+				}
+			}
+			t.Attrs = attrs
+		} else {
+			delete(t.Attrs, queryTag)
+		}
 		h.mu.Lock()
 		h.delivered++
 		h.mu.Unlock()
