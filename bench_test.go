@@ -518,6 +518,86 @@ func benchBrokerChurn(b *testing.B, nSubs int) {
 	}
 }
 
+// BenchmarkBrokerAdvertChurn measures the teardown-lifecycle cost of one
+// stream register/unregister cycle against a broker pair preloaded with N
+// stable subscriptions on OTHER streams. Each operation is one Unadvertise
+// (the withdrawal flood prunes the churned stream's 32 subscription records
+// at the publisher and clears the subscribers' propagation marks, with
+// covered-by re-decision) plus one Advertise (the re-advert replays those
+// 32 subscriptions toward the publisher, which re-records them). The
+// posting-list-driven prune and replay touch only the churned stream's
+// subscriptions, so the cycle cost scales with that stream's population,
+// not with the stable one.
+func BenchmarkBrokerAdvertChurn(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("subs=%d", n), func(b *testing.B) {
+			benchBrokerAdvertChurn(b, n)
+		})
+	}
+}
+
+func benchBrokerAdvertChurn(b *testing.B, nSubs int) {
+	g := topology.NewGraph(2)
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		b.Fatal(err)
+	}
+	net, err := pubsub.NewNetwork(topology.NewOracle(g), []topology.NodeID{0, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, _ := net.Broker(0)
+	dst, _ := net.Broker(1)
+	const streams = 64
+	const churnSubs = 32
+	streamName := func(s int) string { return fmt.Sprintf("S%02d", s) }
+	for s := 0; s < streams; s++ {
+		src.Advertise(streamName(s))
+	}
+	src.Advertise("C")
+	mkFilter := func(op query.Op, v float64) query.Predicate {
+		lit := stream.FloatVal(v)
+		return query.Predicate{
+			Left:  query.Operand{Col: &query.ColRef{Attr: "a"}},
+			Op:    op,
+			Right: query.Operand{Lit: &lit},
+		}
+	}
+	// Stable population on the 64 side streams, plus churnSubs
+	// subscriptions on the churned stream C — all pairwise non-covering
+	// window filters, so everything propagates and stays recorded.
+	for i := 0; i < nSubs; i++ {
+		k := float64(i / streams)
+		sub := &pubsub.Subscription{
+			ID:      fmt.Sprintf("s%d", i),
+			Streams: []string{streamName(i % streams)},
+			Filters: []query.Predicate{mkFilter(query.Ge, k), mkFilter(query.Lt, k+2)},
+		}
+		if err := dst.Subscribe(sub, func(*pubsub.Subscription, stream.Tuple) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < churnSubs; i++ {
+		k := float64(i)
+		sub := &pubsub.Subscription{
+			ID:      fmt.Sprintf("c%d", i),
+			Streams: []string{"C"},
+			Filters: []query.Predicate{mkFilter(query.Ge, k), mkFilter(query.Lt, k+2)},
+		}
+		if err := dst.Subscribe(sub, func(*pubsub.Subscription, stream.Tuple) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Unadvertise("C")
+		src.Advertise("C")
+	}
+	b.StopTimer()
+	if remote, _ := src.RoutingStateSize(); remote != nSubs+churnSubs {
+		b.Fatalf("publisher records %d subscriptions after advert churn, want %d", remote, nSubs+churnSubs)
+	}
+}
+
 // BenchmarkFig6RunningTimeMedium reruns the Fig 6 experiment at
 // ScaleMedium (4000 substreams / 96 processors) — the configuration the
 // nightly workflow sweeps. One iteration is a full multi-minute sweep, so

@@ -16,8 +16,15 @@
 // "allocs_per_op": <allocs>} — the latter two require the bench job to run
 // with -benchmem and guard the route-path allocation budget the same way
 // wall time is guarded. A run fails when any observed minimum exceeds
-// recorded*tolerance. Guarded benchmarks (or guarded memory metrics)
-// absent from the input only warn: jobs may guard different subsets.
+// recorded*tolerance.
+//
+// A guarded benchmark that appears in NONE of the input files is an error:
+// a renamed or deleted benchmark must not quietly disable its guard. Jobs
+// that intentionally run a subset declare the names they skip with
+// -allow-missing (an anchored-at-will regular expression); only those may
+// be absent, and they warn instead. A guarded MEMORY metric whose
+// benchmark ran without -benchmem stays a warning — the wall-time guard
+// still applied.
 package main
 
 import (
@@ -92,9 +99,11 @@ func parseBench(r io.Reader, into map[string]*observed) error {
 }
 
 // check compares observed minima against the guard with the given
-// tolerance multiplier, returning regression messages and missing-metric
-// warnings, both in sorted guard order.
-func check(guard map[string]guardEntry, obs map[string]*observed, tolerance float64) (regressions, missing []string) {
+// tolerance multiplier, returning regression messages, the guarded
+// benchmark names absent from the input (each one a disabled guard — the
+// caller fails on them unless explicitly allowed), and missing-metric
+// warnings, all in sorted guard order.
+func check(guard map[string]guardEntry, obs map[string]*observed, tolerance float64) (regressions, missing, warnings []string) {
 	names := make([]string, 0, len(guard))
 	for name := range guard {
 		names = append(names, name)
@@ -120,7 +129,7 @@ func check(guard map[string]guardEntry, obs map[string]*observed, tolerance floa
 		}
 		if g.BPerOp > 0 || g.AllocsPerOp > 0 {
 			if !o.hasMem {
-				missing = append(missing, name+" (B/op, allocs/op: run with -benchmem)")
+				warnings = append(warnings, name+" (B/op, allocs/op: run with -benchmem)")
 				continue
 			}
 			if g.BPerOp > 0 {
@@ -131,10 +140,10 @@ func check(guard map[string]guardEntry, obs map[string]*observed, tolerance floa
 			}
 		}
 	}
-	return regressions, missing
+	return regressions, missing, warnings
 }
 
-func run(baselinePath string, tolerance float64, inputs []string) error {
+func run(baselinePath string, tolerance float64, allowMissing string, inputs []string) error {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return err
@@ -147,6 +156,13 @@ func run(baselinePath string, tolerance float64, inputs []string) error {
 	}
 	if len(baseline.Guard) == 0 {
 		return fmt.Errorf("benchcheck: %s has no guard entries", baselinePath)
+	}
+	var allowRe *regexp.Regexp
+	if allowMissing != "" {
+		allowRe, err = regexp.Compile(allowMissing)
+		if err != nil {
+			return fmt.Errorf("benchcheck: bad -allow-missing pattern: %w", err)
+		}
 	}
 	obs := make(map[string]*observed)
 	for _, path := range inputs {
@@ -163,8 +179,17 @@ func run(baselinePath string, tolerance float64, inputs []string) error {
 	if len(obs) == 0 {
 		return fmt.Errorf("benchcheck: no benchmark results found in %v", inputs)
 	}
-	regressions, missing := check(baseline.Guard, obs, tolerance)
+	regressions, missing, warnings := check(baseline.Guard, obs, tolerance)
+	var disabled []string
 	for _, name := range missing {
+		if allowRe != nil && allowRe.MatchString(name) {
+			fmt.Printf("benchcheck: warning: guarded benchmark %s not in input (allowed by -allow-missing)\n", name)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchcheck: MISSING: guarded benchmark %s appeared in none of the inputs — a renamed bench must not quietly disable its guard (declare intentional subsets with -allow-missing)\n", name)
+		disabled = append(disabled, name)
+	}
+	for _, name := range warnings {
 		fmt.Printf("benchcheck: warning: guarded benchmark %s not in input\n", name)
 	}
 	names := make([]string, 0, len(obs))
@@ -200,6 +225,10 @@ func run(baselinePath string, tolerance float64, inputs []string) error {
 		}
 		return fmt.Errorf("benchcheck: %d benchmark(s) regressed", len(regressions))
 	}
+	if len(disabled) > 0 {
+		return fmt.Errorf("benchcheck: %d guarded benchmark(s) missing from input: %s",
+			len(disabled), strings.Join(disabled, ", "))
+	}
 	fmt.Println("benchcheck: all guarded benchmarks within tolerance")
 	return nil
 }
@@ -207,12 +236,13 @@ func run(baselinePath string, tolerance float64, inputs []string) error {
 func main() {
 	baseline := flag.String("baseline", "BENCH_BASELINE.json", "baseline JSON with a top-level guard object")
 	tolerance := flag.Float64("tolerance", 4.0, "allowed slowdown multiplier over the recorded baseline")
+	allowMissing := flag.String("allow-missing", "", "regexp of guarded benchmark names this job intentionally does not run (absent names not matching it fail the check)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck [-baseline file] [-tolerance x] benchoutput...")
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-baseline file] [-tolerance x] [-allow-missing regexp] benchoutput...")
 		os.Exit(2)
 	}
-	if err := run(*baseline, *tolerance, flag.Args()); err != nil {
+	if err := run(*baseline, *tolerance, *allowMissing, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

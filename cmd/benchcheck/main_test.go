@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -67,12 +68,15 @@ func TestCheckFlagsOnlyGrossRegressions(t *testing.T) {
 		"BenchmarkBrokerRoute/indexed-1000": {ns: 15000},     // 3.75x: inside 4x tolerance
 		"BenchmarkFig6RunningTime":          {ns: 700000000}, // ~6x: regression
 	}
-	regressions, missing := check(guard, obs, 4.0)
+	regressions, missing, warnings := check(guard, obs, 4.0)
 	if len(regressions) != 1 || !strings.Contains(regressions[0], "BenchmarkFig6RunningTime") {
 		t.Fatalf("regressions = %v, want exactly the Fig6 entry", regressions)
 	}
 	if len(missing) != 1 || missing[0] != "BenchmarkNotRun" {
 		t.Fatalf("missing = %v, want [BenchmarkNotRun]", missing)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("warnings = %v, want none", warnings)
 	}
 }
 
@@ -84,21 +88,22 @@ func TestCheckGuardsMemoryMetrics(t *testing.T) {
 	obs := map[string]*observed{
 		"BenchmarkX": {ns: 1100, bytes: 900, allocs: 12, hasMem: true},
 	}
-	regressions, missing := check(guard, obs, 4.0)
+	regressions, missing, warnings := check(guard, obs, 4.0)
 	if len(regressions) != 1 || !strings.Contains(regressions[0], "B/op") {
 		t.Fatalf("regressions = %v, want exactly the B/op entry", regressions)
 	}
-	if len(missing) != 0 {
-		t.Fatalf("missing = %v, want none", missing)
+	if len(missing) != 0 || len(warnings) != 0 {
+		t.Fatalf("missing = %v, warnings = %v, want none", missing, warnings)
 	}
-	// Memory-guarded benchmark run without -benchmem: warn, don't fail.
+	// Memory-guarded benchmark run without -benchmem: warn, don't fail —
+	// the wall-time guard still applied, unlike a bench missing outright.
 	obs["BenchmarkX"] = &observed{ns: 1100}
-	regressions, missing = check(guard, obs, 4.0)
-	if len(regressions) != 0 {
-		t.Fatalf("regressions = %v, want none without -benchmem", regressions)
+	regressions, missing, warnings = check(guard, obs, 4.0)
+	if len(regressions) != 0 || len(missing) != 0 {
+		t.Fatalf("regressions = %v, missing = %v, want none without -benchmem", regressions, missing)
 	}
-	if len(missing) != 1 || !strings.Contains(missing[0], "-benchmem") {
-		t.Fatalf("missing = %v, want the -benchmem hint", missing)
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "-benchmem") {
+		t.Fatalf("warnings = %v, want the -benchmem hint", warnings)
 	}
 }
 
@@ -107,17 +112,80 @@ func TestCheckMemoryOnlyGuardSkipsNs(t *testing.T) {
 	// observed ns/op as exceeding a zero baseline.
 	guard := map[string]guardEntry{"BenchmarkX": {BPerOp: 100}}
 	obs := map[string]*observed{"BenchmarkX": {ns: 123456, bytes: 90, allocs: 3, hasMem: true}}
-	regressions, missing := check(guard, obs, 4.0)
-	if len(regressions) != 0 || len(missing) != 0 {
-		t.Fatalf("regressions=%v missing=%v, want none", regressions, missing)
+	regressions, missing, warnings := check(guard, obs, 4.0)
+	if len(regressions) != 0 || len(missing) != 0 || len(warnings) != 0 {
+		t.Fatalf("regressions=%v missing=%v warnings=%v, want none", regressions, missing, warnings)
 	}
 }
 
 func TestCheckPassesAtBaseline(t *testing.T) {
 	guard := map[string]guardEntry{"BenchmarkX": {NsPerOp: 1000}}
 	obs := map[string]*observed{"BenchmarkX": {ns: 1000}}
-	regressions, missing := check(guard, obs, 4.0)
-	if len(regressions) != 0 || len(missing) != 0 {
-		t.Fatalf("regressions=%v missing=%v, want none", regressions, missing)
+	regressions, missing, warnings := check(guard, obs, 4.0)
+	if len(regressions) != 0 || len(missing) != 0 || len(warnings) != 0 {
+		t.Fatalf("regressions=%v missing=%v warnings=%v, want none", regressions, missing, warnings)
+	}
+}
+
+// writeRunFixture lays down a baseline file guarding two benchmarks and a
+// bench-output file containing only the first.
+func writeRunFixture(t *testing.T) (baseline, bench string) {
+	t.Helper()
+	dir := t.TempDir()
+	baseline = dir + "/baseline.json"
+	bench = dir + "/bench.txt"
+	if err := os.WriteFile(baseline, []byte(`{
+		"guard": {
+			"BenchmarkPresent": { "ns_per_op": 1000 },
+			"BenchmarkRenamedAway": { "ns_per_op": 1000 }
+		}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bench, []byte(
+		"BenchmarkPresent-2   100   1200 ns/op\nPASS\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return baseline, bench
+}
+
+// TestRunFailsOnGuardMissingFromInput: a guard entry naming a benchmark
+// that appears in none of the inputs must FAIL the run — a renamed bench
+// must not quietly disable its guard — unless the job explicitly declares
+// it with -allow-missing.
+func TestRunFailsOnGuardMissingFromInput(t *testing.T) {
+	baseline, bench := writeRunFixture(t)
+	err := run(baseline, 4.0, "", []string{bench})
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkRenamedAway") {
+		t.Fatalf("run = %v, want missing-guard failure naming BenchmarkRenamedAway", err)
+	}
+	// The declared-subset escape hatch turns exactly that name into a
+	// warning.
+	if err := run(baseline, 4.0, "^BenchmarkRenamedAway$", []string{bench}); err != nil {
+		t.Fatalf("run with -allow-missing = %v, want success", err)
+	}
+	// A pattern that does not cover the absent name still fails.
+	err = run(baseline, 4.0, "^BenchmarkSomethingElse$", []string{bench})
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkRenamedAway") {
+		t.Fatalf("run with non-matching -allow-missing = %v, want failure", err)
+	}
+	// An invalid pattern is reported, not ignored.
+	if err := run(baseline, 4.0, "(", []string{bench}); err == nil {
+		t.Fatal("run with invalid -allow-missing pattern succeeded")
+	}
+}
+
+// TestRunRegressionStillBeatsMissing: when both a regression and a missing
+// guard occur, the regression is reported (the more urgent signal), and the
+// run fails either way.
+func TestRunRegressionStillBeatsMissing(t *testing.T) {
+	baseline, bench := writeRunFixture(t)
+	if err := os.WriteFile(bench, []byte(
+		"BenchmarkPresent-2   100   9000 ns/op\nPASS\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(baseline, 4.0, "", []string{bench})
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("run = %v, want regression failure", err)
 	}
 }

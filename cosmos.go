@@ -11,15 +11,21 @@
 // superset query whose shared result stream is split back per user with
 // residual subscriptions (§2.1).
 //
-// The deployment is dynamic: streams may be registered after Start (the
-// source broker joins the running overlay and its advertisement
-// re-propagates existing subscriptions toward it), queries may be submitted
-// and cancelled at any time (cancellation retracts the routing state the
-// query's subscriptions installed across the overlay), and Adapt migrates
-// queries between processors at runtime. The Pub/Sub substrate's
-// routing-state lifecycle (internal/pubsub) keeps filtering exact under
-// this churn: no ordering of advertise/subscribe/unsubscribe loses
-// deliveries or leaves stale forwarding state behind.
+// The deployment is dynamic, setup and teardown alike: streams may be
+// registered after Start (the source broker joins the running overlay and
+// its advertisement re-propagates existing subscriptions toward it) and
+// unregistered again (the advert withdrawal floods and every broker prunes
+// the routing state the advert justified), queries may be submitted and
+// cancelled at any time (cancellation retracts the routing state the
+// query's subscriptions installed across the overlay AND removes the
+// query's vertex, assignment and load from every level of the coordinator
+// tree), and Adapt migrates queries between processors at runtime. The
+// Pub/Sub substrate's routing-state lifecycle (internal/pubsub) keeps
+// filtering exact under this churn: no ordering of
+// advertise/subscribe/unsubscribe/unadvertise loses deliveries or leaves
+// stale forwarding state behind — when the last query is cancelled and the
+// last stream unregistered, every broker and the coordinator tree drain to
+// empty.
 //
 // Typical use:
 //
@@ -36,6 +42,7 @@ package cosmos
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 	"sync"
 
@@ -161,9 +168,48 @@ func New(g *topology.Graph, processors []NodeID, cfg Config) (*Middleware, error
 // registered after Start are routed exactly by the Pub/Sub but do not
 // contribute optimizer interest bits until the next full redistribution
 // (the coordinator tree's interest dimension is frozen at Start).
+// Re-registering a name withdrawn by UnregisterStream revives it (original
+// schema and substream slots, possibly a new source); re-registering a live
+// name is an error.
 func (m *Middleware) RegisterStream(def StreamDef) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if _, live := m.defs[def.Name]; live {
+		return fmt.Errorf("cosmos: stream %q already registered", def.Name)
+	}
+	if prev, ok := m.registry.Lookup(def.Name); ok {
+		// Reviving a previously unregistered stream: its substream slots
+		// (and their recorded rates) are fixed in the frozen interest
+		// space, so the original schema and partitioning stay; the
+		// source may move — the (possibly new) source broker joins the
+		// live overlay and the re-advertisement replays the waiting
+		// subscriptions toward it. A revival that tries to CHANGE the
+		// frozen shape (an explicitly supplied schema or substream count
+		// differing from the original) is rejected, not silently ignored.
+		if len(def.Schema.Attrs) > 0 && !reflect.DeepEqual(def.Schema, prev.Schema) {
+			return fmt.Errorf("cosmos: stream %q revival changes the schema (unregister keeps the original)", def.Name)
+		}
+		if def.Substreams > 0 && def.Substreams != prev.SubCount {
+			return fmt.Errorf("cosmos: stream %q revival changes substreams %d -> %d (slots are frozen)",
+				def.Name, prev.SubCount, def.Substreams)
+		}
+		if def.AvgTupleBytes > 0 && def.AvgTupleBytes != prev.AvgTuple {
+			return fmt.Errorf("cosmos: stream %q revival changes avg tuple bytes %d -> %d (frozen with the slots)",
+				def.Name, prev.AvgTuple, def.AvgTupleBytes)
+		}
+		// RatePerSubstream is advisory only here: the optimizer's rate
+		// vector is frozen with the interest space, so the recorded
+		// original rates keep applying until a full redistribution.
+		def.Schema = prev.Schema
+		def.Substreams = prev.SubCount
+		def.AvgTupleBytes = prev.AvgTuple
+		m.defs[def.Name] = def
+		if m.started {
+			b := m.net.AddBroker(def.Source)
+			b.Advertise(def.Name)
+		}
+		return nil
+	}
 	if def.Substreams <= 0 {
 		def.Substreams = 1
 	}
@@ -186,6 +232,32 @@ func (m *Middleware) RegisterStream(def StreamDef) error {
 	if m.started {
 		b := m.net.AddBroker(def.Source)
 		b.Advertise(def.Name)
+	}
+	return nil
+}
+
+// UnregisterStream withdraws a registered stream: its advertisement floods
+// off the overlay (pruning, at every broker, the advert state and the
+// subscription records it alone justified — see pubsub.Broker.Unadvertise),
+// and tuples can no longer be published on it. Queries referencing the
+// stream stay submitted; their input subscriptions simply receive nothing
+// until the stream is registered again, which re-advertises it and replays
+// the waiting subscriptions toward the publisher. The optimizer statistics
+// are frozen like registration-after-Start: the stream's substream rates
+// keep their slots in the interest space until the next full
+// redistribution. Unregistering an unknown stream is an error; a second
+// unregistration of the same stream is therefore also an error (the first
+// already removed it).
+func (m *Middleware) UnregisterStream(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	def, ok := m.defs[name]
+	if !ok {
+		return fmt.Errorf("cosmos: unknown stream %q", name)
+	}
+	delete(m.defs, name)
+	if m.started {
+		m.net.RemoveStream(def.Source, name)
 	}
 	return nil
 }
@@ -222,17 +294,13 @@ func (h *QueryHandle) Delivered() int64 {
 // Cancel withdraws the query from the middleware: the user-side result
 // subscription is unsubscribed at the proxy (retracting its routing state
 // across the overlay), the query is removed from its processor's engine,
-// and the processor's input subscriptions are recomputed from the queries
-// that remain — shrinking or retracting the pushed-down union filters.
-// Cancelling a handle that was already cancelled is a no-op and reports
-// success, as does cancelling before Start (the query simply leaves the
-// pending batch).
-//
-// Known limitation: the coordinator tree keeps the cancelled query's load
-// estimate until the next full redistribution (the hierarchy has no
-// removal operation yet — see ROADMAP), so sustained submit/cancel churn
-// slowly pads the optimizer's load picture; routing and deliveries are
-// unaffected.
+// the processor's input subscriptions are recomputed from the queries that
+// remain — shrinking or retracting the pushed-down union filters — and the
+// coordinator tree removes the query's graph vertex, assignment entry and
+// load contribution at every level (hierarchy.Tree.Remove), so sustained
+// submit/cancel churn keeps the optimizer's load picture exact. Cancelling
+// a handle that was already cancelled is a no-op and reports success, as
+// does cancelling before Start (the query simply leaves the pending batch).
 func (h *QueryHandle) Cancel() error {
 	m := h.m
 	m.mu.Lock()
@@ -249,6 +317,7 @@ func (h *QueryHandle) Cancel() error {
 	if !m.started {
 		return nil
 	}
+	m.tree.Remove(h.Name)
 	if pb, ok := m.net.Broker(h.Proxy); ok {
 		pb.Unsubscribe("user/" + h.Name)
 	}

@@ -362,3 +362,185 @@ func TestCancelColocatedMergedQuery(t *testing.T) {
 		t.Errorf("cancelled query still delivered: %d results", len(gotA))
 	}
 }
+
+// TestUnregisterStream: withdrawing a stream stops publishes, prunes the
+// advert and subscription state it justified across the overlay, and a
+// revival re-registration (same name, original schema) resumes deliveries
+// end to end via advert-triggered re-propagation.
+func TestUnregisterStream(t *testing.T) {
+	g, procs := testTopology(t)
+	m, err := New(g, procs[:3], Config{K: 2, VMax: 10, Seed: 5})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := m.RegisterStream(StreamDef{
+		Name: "Station1", Schema: stationSchema(), Source: procs[4], Substreams: 2, RatePerSubstream: 5,
+	}); err != nil {
+		t.Fatalf("RegisterStream: %v", err)
+	}
+	var got []Tuple
+	if _, err := m.Submit(`SELECT * FROM Station1 [Now] WHERE snowHeight > 5`,
+		procs[0], func(t Tuple) { got = append(got, t) }); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	pub := func(snow float64) error {
+		return m.Publish(Tuple{
+			Stream:    "Station1",
+			Timestamp: 1000,
+			Attrs:     map[string]stream.Value{"snowHeight": stream.FloatVal(snow)},
+		})
+	}
+	if err := pub(9); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("pre-unregister deliveries = %d, want 1", len(got))
+	}
+
+	if err := m.UnregisterStream("Station1"); err != nil {
+		t.Fatalf("UnregisterStream: %v", err)
+	}
+	if err := pub(9); err == nil {
+		t.Fatal("Publish on unregistered stream succeeded")
+	}
+	if err := m.UnregisterStream("Station1"); err == nil {
+		t.Fatal("second UnregisterStream succeeded")
+	}
+	if err := m.UnregisterStream("never-registered"); err == nil {
+		t.Fatal("UnregisterStream of unknown stream succeeded")
+	}
+	// The source broker's advert and every record the input subscription
+	// installed along the path toward it are gone; the processor's local
+	// input subscription survives (it is torn down by query cancel).
+	srcBroker, ok := m.net.Broker(procs[4])
+	if !ok {
+		t.Fatal("no source broker")
+	}
+	if own, _ := srcBroker.AdvertStateSize(); own != 0 {
+		t.Fatalf("source still advertises %d streams after unregister", own)
+	}
+	if remote, _ := srcBroker.RoutingStateSize(); remote != 0 {
+		t.Fatalf("source still records %d input subscriptions after unregister", remote)
+	}
+
+	// A revival that tries to change the frozen shape is rejected.
+	if err := m.RegisterStream(StreamDef{Name: "Station1", Source: procs[4], Substreams: 5}); err == nil {
+		t.Fatal("revival with a different substream count succeeded")
+	}
+	if err := m.RegisterStream(StreamDef{
+		Name: "Station1", Source: procs[4],
+		Schema: stream.Schema{Attrs: []stream.Attribute{{Name: "other", Type: stream.Float}}},
+	}); err == nil {
+		t.Fatal("revival with a different schema succeeded")
+	}
+
+	// Revival: same name, original schema and substream slots; deliveries
+	// resume without resubmitting the query.
+	if err := m.RegisterStream(StreamDef{Name: "Station1", Source: procs[4]}); err != nil {
+		t.Fatalf("revival RegisterStream: %v", err)
+	}
+	if err := pub(9); err != nil {
+		t.Fatalf("Publish after revival: %v", err)
+	}
+	if err := pub(2); err != nil { // filtered at source
+		t.Fatalf("Publish after revival: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("post-revival deliveries = %d, want 2 (subscriptions must replay toward the revived source)", len(got))
+	}
+	// Re-registering a LIVE stream stays an error.
+	if err := m.RegisterStream(StreamDef{Name: "Station1", Source: procs[4]}); err == nil {
+		t.Fatal("re-registering a live stream succeeded")
+	}
+}
+
+// TestCancelRemovesCoordinatorState: cancelling queries removes their
+// vertices, assignment entries and load contributions from every level of
+// the coordinator tree — cancelling everything drains it to exactly zero.
+func TestCancelRemovesCoordinatorState(t *testing.T) {
+	g, procs := testTopology(t)
+	m, err := New(g, procs[:4], Config{K: 2, VMax: 10, Seed: 5})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := m.RegisterStream(StreamDef{
+		Name: "Station1", Schema: stationSchema(), Source: procs[4], Substreams: 2, RatePerSubstream: 5,
+	}); err != nil {
+		t.Fatalf("RegisterStream: %v", err)
+	}
+	var handles []*QueryHandle
+	for i := 0; i < 6; i++ {
+		h, err := m.Submit(`SELECT * FROM Station1 [Now] WHERE snowHeight > 5`, procs[i%4], nil)
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		handles = append(handles, h)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// One online submission on top of the batch.
+	h, err := m.Submit(`SELECT * FROM Station1 [Now] WHERE snowHeight > 8`, procs[1], nil)
+	if err != nil {
+		t.Fatalf("Submit online: %v", err)
+	}
+	handles = append(handles, h)
+
+	if q, v, _ := m.tree.Residual(); q != len(handles) || v == 0 {
+		t.Fatalf("pre-cancel residual: queries=%d vertices=%d, want %d queries", q, v, len(handles))
+	}
+	if err := handles[2].Cancel(); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	if _, placed := m.tree.Placement()[handles[2].Name]; placed {
+		t.Fatal("cancelled query still placed in the coordinator tree")
+	}
+	if q, _, _ := m.tree.Residual(); q != len(handles)-1 {
+		t.Fatalf("residual queries after one cancel = %d, want %d", q, len(handles)-1)
+	}
+
+	for _, h := range handles {
+		if err := h.Cancel(); err != nil {
+			t.Fatalf("Cancel: %v", err)
+		}
+	}
+	q, v, load := m.tree.Residual()
+	if q != 0 || v != 0 || load != 0 {
+		t.Fatalf("coordinator tree residual after cancelling everything: queries=%d vertices=%d load=%v, want 0/0/0",
+			q, v, load)
+	}
+}
+
+// TestRevivalRejectsAvgTupleBytesChange: the per-tuple accounting size is
+// frozen with the substream slots; a revival supplying a different value is
+// an error, not a silent reset.
+func TestRevivalRejectsAvgTupleBytesChange(t *testing.T) {
+	g, procs := testTopology(t)
+	m, err := New(g, procs[:3], Config{K: 2, VMax: 10, Seed: 5})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := m.RegisterStream(StreamDef{
+		Name: "Station1", Schema: stationSchema(), Source: procs[4], AvgTupleBytes: 64,
+	}); err != nil {
+		t.Fatalf("RegisterStream: %v", err)
+	}
+	if _, err := m.Submit(`SELECT * FROM Station1 [Now]`, procs[0], nil); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := m.UnregisterStream("Station1"); err != nil {
+		t.Fatalf("UnregisterStream: %v", err)
+	}
+	if err := m.RegisterStream(StreamDef{Name: "Station1", Source: procs[4], AvgTupleBytes: 200}); err == nil {
+		t.Fatal("revival with a different AvgTupleBytes succeeded")
+	}
+	if err := m.RegisterStream(StreamDef{Name: "Station1", Source: procs[4], AvgTupleBytes: 64}); err != nil {
+		t.Fatalf("revival with the original AvgTupleBytes failed: %v", err)
+	}
+}

@@ -106,7 +106,7 @@ func (t *Tree) descendCurrent(c *Coordinator, incoming []*querygraph.Vertex, use
 		fineShares = func(res mapping.Assignment) ([][]*querygraph.Vertex, error) {
 			shares := make([][]*querygraph.Vertex, c.assignableCount())
 			for vi, v := range g.Vertices {
-				if len(v.Queries) == 0 {
+				if v == nil || len(v.Queries) == 0 {
 					continue
 				}
 				k := res[vi]
@@ -282,7 +282,7 @@ func (t *Tree) refreshWeights(g *querygraph.Graph) {
 		return
 	}
 	for _, v := range g.Vertices {
-		if len(v.Queries) == 0 {
+		if v == nil || len(v.Queries) == 0 {
 			continue
 		}
 		var sum float64

@@ -80,6 +80,7 @@ func (t *Tree) resetDistribution(queries []querygraph.QueryInfo, subRates []floa
 		c.expand = make(map[string][]*querygraph.Vertex)
 		c.keySeq = 0
 		c.graph, c.ng, c.assign, c.loads = nil, nil, nil, nil
+		c.byQuery = nil
 		c.upTime, c.downTime = 0, 0
 	}
 	return nil
@@ -539,11 +540,20 @@ func (t *Tree) descend(c *Coordinator, incoming []*querygraph.Vertex, assignFn a
 }
 
 // setState records the mapped graph as the coordinator's current state for
-// online insertion and the next adaptation round.
+// online insertion, removal and the next adaptation round.
 func (t *Tree) setState(c *Coordinator, g *querygraph.Graph, assign mapping.Assignment) {
 	c.graph = g
 	c.assign = assign
 	c.loads = mapping.Loads(g, c.ng, assign)
+	c.byQuery = make(map[string]int)
+	for id, v := range g.Vertices {
+		if v == nil {
+			continue
+		}
+		for _, q := range v.Queries {
+			c.byQuery[q.Name] = id
+		}
+	}
 }
 
 // expandAll expands every vertex until its grain is at most maxGrain, using

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/mapping"
 	"repro/internal/querygraph"
 	"repro/internal/topology"
 )
@@ -26,12 +27,26 @@ func (t *Tree) Insert(q querygraph.QueryInfo) (topology.NodeID, error) {
 			return -1, err
 		}
 		// Record the vertex in the coordinator's graph so subsequent
-		// insertions and adaptation rounds see it. Edges are computed
-		// lazily at the next adaptation round's graph rebuild.
+		// insertions and adaptation rounds see it (AddVertex may reuse a
+		// slot freed by an earlier removal, so the assignment entry is
+		// installed by ID, not appended). Edges are computed lazily at
+		// the next adaptation round's graph rebuild.
 		v := atomVertex(q)
+		prevLen := len(c.graph.Vertices)
 		c.graph.AddVertex(v)
-		c.assign = append(c.assign, k)
-		c.loads[k] += q.Load
+		c.setAssign(v.ID, k)
+		c.noteQuery(q.Name, v.ID)
+		if len(c.graph.Vertices) > prevLen {
+			// Appended at the end: the O(1) increment equals the
+			// vertex-order recompute exactly (old sum, then the new
+			// last weight).
+			c.loads[k] += q.Load
+		} else {
+			// A freed mid-array slot was reused: recompute so loads
+			// stay the exact vertex-order sum a removal's repair
+			// produces.
+			c.loads = mapping.Loads(c.graph, c.ng, c.assign)
+		}
 
 		if c.IsLeaf() {
 			proc := c.ng.Vertices[k].Node
@@ -162,10 +177,16 @@ func (t *Tree) PlaceAt(q querygraph.QueryInfo, proc topology.NodeID) error {
 			return fmt.Errorf("hierarchy: %s cannot pin processor %d", c.Name, proc)
 		}
 		cv := v.Clone()
+		prevLen := len(c.graph.Vertices)
 		c.graph.AddVertex(cv)
-		c.assign = append(c.assign, k)
-		if k < len(c.loads) {
-			c.loads[k] += q.Load
+		c.setAssign(cv.ID, k)
+		c.noteQuery(q.Name, cv.ID)
+		if len(c.graph.Vertices) > prevLen {
+			if k < len(c.loads) {
+				c.loads[k] += q.Load
+			}
+		} else {
+			c.loads = mapping.Loads(c.graph, c.ng, c.assign)
 		}
 	}
 	return nil

@@ -99,6 +99,11 @@ type Coordinator struct {
 	ng     *netgraph.Graph
 	assign mapping.Assignment
 	loads  []float64 // per-NG-vertex load, kept current across insertions
+	// byQuery maps each constituent query name to the ID of the graph
+	// vertex holding it, so removal finds a query in O(1) per level
+	// instead of scanning every vertex. Rebuilt by setState, maintained
+	// by Insert/PlaceAt/Remove.
+	byQuery map[string]int
 
 	// timing of the last operation phases, for Fig 6(b).
 	upTime   time.Duration
@@ -107,6 +112,24 @@ type Coordinator struct {
 
 // IsLeaf reports whether the coordinator manages processors directly.
 func (c *Coordinator) IsLeaf() bool { return len(c.Children) == 0 }
+
+// setAssign installs the mapping target of vertex id, growing the
+// assignment array when the vertex extended the graph (reused slots keep
+// their position).
+func (c *Coordinator) setAssign(id, k int) {
+	for len(c.assign) <= id {
+		c.assign = append(c.assign, mapping.Unassigned)
+	}
+	c.assign[id] = k
+}
+
+// noteQuery records which vertex holds a query.
+func (c *Coordinator) noteQuery(name string, id int) {
+	if c.byQuery == nil {
+		c.byQuery = make(map[string]int)
+	}
+	c.byQuery[name] = id
+}
 
 // Covers reports whether the processor is a descendant of this coordinator.
 func (c *Coordinator) Covers(n topology.NodeID) bool { return c.memberSet[n] }

@@ -123,11 +123,12 @@ func WEC(qg *querygraph.Graph, ng *netgraph.Graph, a Assignment) float64 {
 	return total
 }
 
-// Loads returns the per-target query load of an assignment.
+// Loads returns the per-target query load of an assignment. Removed (nil)
+// vertex slots contribute nothing.
 func Loads(qg *querygraph.Graph, ng *netgraph.Graph, a Assignment) []float64 {
 	loads := make([]float64, ng.Len())
 	for i, v := range qg.Vertices {
-		if a[i] != Unassigned {
+		if v != nil && a[i] != Unassigned {
 			loads[a[i]] += v.Weight
 		}
 	}

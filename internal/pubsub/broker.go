@@ -18,13 +18,23 @@ import (
 // query window) is fine.
 type Handler func(sub *Subscription, t stream.Tuple)
 
-// Peer is the broker-to-broker protocol: the four message kinds that cross
+// Peer is the broker-to-broker protocol: the five message kinds that cross
 // overlay links. In-process networks implement it with direct calls;
 // transport adapters (e.g. the TCP transport) implement it over the wire.
 type Peer interface {
 	// AdvertFrom delivers a stream advertisement arriving from a
-	// neighbor.
-	AdvertFrom(from topology.NodeID, streamName string)
+	// neighbor. origin is the broker whose clients publish the stream and
+	// seq the epoch the origin stamped the advertisement with; together
+	// they identify the advertisement across the overlay, so a later
+	// withdrawal (UnadvertFrom) removes exactly this advert and a
+	// duplicate flood of the same epoch is a no-op.
+	AdvertFrom(from topology.NodeID, streamName string, origin topology.NodeID, seq uint64)
+	// UnadvertFrom delivers an advert withdrawal arriving from a
+	// neighbor: the advertisement of streamName by origin (at epoch seq
+	// or older) is withdrawn from the direction of 'from'. Brokers prune
+	// the per-direction advert entry and every piece of routing state the
+	// advert pulled in.
+	UnadvertFrom(from topology.NodeID, streamName string, origin topology.NodeID, seq uint64)
 	// PropagateFrom delivers a subscription arriving from a neighbor.
 	PropagateFrom(sub *Subscription, from topology.NodeID)
 	// RetractFrom delivers an unsubscription arriving from a neighbor:
@@ -45,9 +55,16 @@ type Fabric interface {
 	CountData(from, to topology.NodeID, size int)
 }
 
-// AdvertFrom, PropagateFrom, RetractFrom and RouteFrom make *Broker itself a
-// Peer, so in-process fabrics hand brokers out directly.
-func (b *Broker) AdvertFrom(from topology.NodeID, streamName string) { b.advertFrom(from, streamName) }
+// AdvertFrom, UnadvertFrom, PropagateFrom, RetractFrom and RouteFrom make
+// *Broker itself a Peer, so in-process fabrics hand brokers out directly.
+func (b *Broker) AdvertFrom(from topology.NodeID, streamName string, origin topology.NodeID, seq uint64) {
+	b.advertFrom(from, streamName, origin, seq)
+}
+
+// UnadvertFrom implements Peer.
+func (b *Broker) UnadvertFrom(from topology.NodeID, streamName string, origin topology.NodeID, seq uint64) {
+	b.unadvertFrom(from, streamName, origin, seq)
+}
 
 // PropagateFrom implements Peer.
 func (b *Broker) PropagateFrom(sub *Subscription, from topology.NodeID) { b.propagate(sub, from) }
@@ -65,8 +82,8 @@ var _ Peer = (*Broker)(nil)
 // Broker is one overlay node of the Pub/Sub network. Brokers are wired into
 // an acyclic overlay by Network; all routing state is per-neighbor:
 //
-//   - adverts[n] holds the streams advertised from direction n, guiding
-//     subscription propagation (Fig 2(a));
+//   - adverts[n] holds the advertisements (stream, publishing origin, epoch)
+//     learned from direction n, guiding subscription propagation (Fig 2(a));
 //   - idx.dirs[n] holds the subscriptions received from direction n, i.e.
 //     the interests living "behind" that neighbor (Fig 2(c)); a message is
 //     forwarded to n only when one of them matches (Fig 2(d));
@@ -79,17 +96,36 @@ var _ Peer = (*Broker)(nil)
 // (re-propagation), so subscribe-before-advertise orderings route
 // correctly; when a subscription is withdrawn, a retraction follows the
 // sentTo edges removing the remote records and un-suppressing any
-// subscription the removed one was covering. Sequence numbers make
-// duplicate floods and stale retractions no-ops.
+// subscription the removed one was covering; when an advertisement is
+// withdrawn (Unadvertise), the withdrawal floods the advert paths and each
+// broker locally prunes the advert entry plus the subscription state it
+// alone justified. Sequence numbers make duplicate floods, stale
+// retractions and stale withdrawals no-ops.
 type Broker struct {
 	Node topology.NodeID
 
 	mu        sync.Mutex
 	net       Fabric
 	neighbors []topology.NodeID
-	adverts   map[topology.NodeID]map[string]bool
-	// published advertisements by this broker's clients.
-	ownAdverts map[string]bool
+	// adverts[n][stream] holds the advertising origins (and their advert
+	// epochs) learned from direction n. The per-origin identity is what
+	// makes teardown exact: a stream advertised by two publishers behind
+	// the same neighbor stays routable when only one of them withdraws.
+	// The stream entry is deleted when its last origin withdraws, so an
+	// idle broker's advert tables drain to empty.
+	adverts map[topology.NodeID]map[string]map[topology.NodeID]uint64
+	// unadvTomb holds tombstones for withdrawals that arrived before the
+	// advert they withdraw (per direction, keyed by stream+origin) —
+	// control sends happen outside broker locks, so an UnadvertFrom can
+	// overtake the AdvertFrom it chases on the same link. The tombstone
+	// annihilates the late-arriving advert (neither is forwarded); a
+	// genuinely newer advert epoch supersedes it.
+	unadvTomb map[topology.NodeID]map[advKey]uint64
+	// ownAdverts maps the streams published by this broker's clients to
+	// the epoch of their current advertisement. Re-advertising a live
+	// stream keeps its epoch (the re-flood is duplicate-suppressed
+	// downstream); advertising after an Unadvertise stamps a fresh one.
+	ownAdverts map[string]uint64
 
 	// idx is the authoritative routing state: one dirIndex per neighbor
 	// direction plus one for local client subscriptions, maintained
@@ -130,10 +166,18 @@ func NewBroker(net Fabric, node topology.NodeID) *Broker {
 	return &Broker{
 		Node:       node,
 		net:        net,
-		adverts:    make(map[topology.NodeID]map[string]bool),
-		ownAdverts: make(map[string]bool),
+		adverts:    make(map[topology.NodeID]map[string]map[topology.NodeID]uint64),
+		unadvTomb:  make(map[topology.NodeID]map[advKey]uint64),
+		ownAdverts: make(map[string]uint64),
 		idx:        newMatchIndex(),
 	}
+}
+
+// advKey identifies one advertisement: the stream name plus the broker whose
+// clients publish it.
+type advKey struct {
+	stream string
+	origin topology.NodeID
 }
 
 // SetLinearMatching switches the broker between the inverted matching index
@@ -167,44 +211,347 @@ func (b *Broker) SetAttrPruning(on bool) {
 // duplicate-suppress.
 func (b *Broker) Advertise(streamName string) {
 	b.mu.Lock()
-	b.ownAdverts[streamName] = true
+	seq, live := b.ownAdverts[streamName]
+	if !live {
+		// A fresh advertisement (first ever, or after an Unadvertise)
+		// opens a new epoch; re-advertising a live stream re-floods the
+		// SAME epoch, so downstream duplicate suppression stops it at
+		// the first hop exactly as before.
+		b.seq++
+		seq = b.seq
+		b.ownAdverts[streamName] = seq
+	}
 	neighbors := append([]topology.NodeID(nil), b.neighbors...)
 	b.mu.Unlock()
 	for _, n := range neighbors {
 		b.net.CountControl(b.Node, n, advertSize)
-		b.net.Peer(n).AdvertFrom(b.Node, streamName)
+		b.net.Peer(n).AdvertFrom(b.Node, streamName, b.Node, seq)
 	}
 }
 
-func (b *Broker) advertFrom(from topology.NodeID, streamName string) {
+// Unadvertise withdraws an advertisement published by this broker's clients:
+// the withdrawal floods along the advert paths, and every broker — starting
+// with this one — prunes the per-direction advert entry plus the routing
+// state the advert pulled in (recorded subscriptions whose only
+// justification it was, the posting-list entries, filter intervals,
+// projection unions and prune trees they fed, and the propagation marks
+// toward the withdrawn direction), re-deciding covered-by suppression
+// exactly as unsubscribe retraction does. Withdrawing a stream this broker
+// never advertised — including a second Unadvertise — is a no-op.
+func (b *Broker) Unadvertise(streamName string) {
 	b.mu.Lock()
+	seq, live := b.ownAdverts[streamName]
+	if !live {
+		b.mu.Unlock()
+		return // unknown or already withdrawn: explicit no-op
+	}
+	delete(b.ownAdverts, streamName)
+	// Ensure the withdrawal epoch outruns the advert it withdraws, so a
+	// subsequent re-advertise (with a yet-newer epoch) is not mistaken
+	// for the withdrawn one.
+	if b.seq < seq {
+		b.seq = seq
+	}
+	neighbors := append([]topology.NodeID(nil), b.neighbors...)
+	// At the origin only the own-advert justification changed: records of
+	// any direction may have been pulled here solely by it (rule b); no
+	// per-direction advert entry changed, so no sentTo pruning (rule a).
+	resend := b.pruneAdvertLocked(streamName, -1, false)
+	b.mu.Unlock()
+	for _, n := range neighbors {
+		b.net.CountControl(b.Node, n, advertSize)
+		b.net.Peer(n).UnadvertFrom(b.Node, streamName, b.Node, seq)
+	}
+	b.sendPends(resend)
+}
+
+func (b *Broker) advertFrom(from topology.NodeID, streamName string, origin topology.NodeID, seq uint64) {
+	b.mu.Lock()
+	key := advKey{stream: streamName, origin: origin}
+	if tombs := b.unadvTomb[from]; tombs != nil {
+		if ts, ok := tombs[key]; ok {
+			// Either way the tombstone is consumed: the withdrawal that
+			// overtook this advert annihilates it (neither flood is
+			// forwarded — downstream saw neither), while a newer advert
+			// epoch supersedes the stale tombstone.
+			delete(tombs, key)
+			if len(tombs) == 0 {
+				delete(b.unadvTomb, from)
+			}
+			if seq <= ts {
+				b.mu.Unlock()
+				return
+			}
+		}
+	}
 	set, ok := b.adverts[from]
 	if !ok {
-		set = make(map[string]bool)
+		set = make(map[string]map[topology.NodeID]uint64)
 		b.adverts[from] = set
 	}
-	if set[streamName] {
+	origins := set[streamName]
+	if cur, dup := origins[origin]; dup && cur >= seq {
 		b.mu.Unlock()
-		return // already known; stop the flood
+		return // already known at this epoch (or newer); stop the flood
 	}
-	set[streamName] = true
+	newStream := len(origins) == 0
+	if origins == nil {
+		origins = make(map[topology.NodeID]uint64)
+		set[streamName] = origins
+	}
+	origins[origin] = seq
 	neighbors := append([]topology.NodeID(nil), b.neighbors...)
-	resend := b.replayLocked(from, streamName)
+	var resend []*Subscription
+	if newStream {
+		resend = b.replayLocked(from, streamName)
+	}
 	b.mu.Unlock()
 	for _, n := range neighbors {
 		if n != from {
 			b.net.CountControl(b.Node, n, advertSize)
-			b.net.Peer(n).AdvertFrom(b.Node, streamName)
+			b.net.Peer(n).AdvertFrom(b.Node, streamName, origin, seq)
 		}
 	}
 	// Re-propagation epoch: replay the recorded subscriptions on the
 	// newly learned stream toward the advertiser. Each send was already
 	// marked in the record's sentTo under the lock, so a concurrent
-	// replay cannot duplicate it.
+	// replay cannot duplicate it. A second origin of an already-known
+	// stream changes no propagation decision, so nothing replays.
 	for _, sub := range resend {
 		b.net.CountControl(b.Node, from, subSize(sub))
 		b.net.Peer(from).PropagateFrom(sub, b.Node)
 	}
+}
+
+// unadvertFrom handles an advert withdrawal arriving from a neighbor. The
+// withdrawal is forwarded along the flood (every broker recorded the advert,
+// so every broker must see it), the (direction, stream, origin) advert entry
+// is removed, and — when that was the stream's last origin behind 'from' —
+// the routing state the advert justified is pruned: propagation marks toward
+// 'from' whose streams are no longer advertised there (the mirror of the
+// neighbor dropping its record), and recorded subscriptions of every other
+// direction left with no advertised stream at all (the mirror of the
+// upstream neighbor clearing its mark toward us). A withdrawal for an
+// unknown advert leaves a tombstone (it overtook its advert); one older than
+// the recorded epoch is a stale no-op.
+func (b *Broker) unadvertFrom(from topology.NodeID, streamName string, origin topology.NodeID, seq uint64) {
+	b.mu.Lock()
+	set := b.adverts[from]
+	origins := set[streamName]
+	cur, ok := origins[origin]
+	if !ok {
+		tombs := b.unadvTomb[from]
+		if tombs == nil {
+			tombs = make(map[advKey]uint64)
+			b.unadvTomb[from] = tombs
+		}
+		key := advKey{stream: streamName, origin: origin}
+		if ts, seen := tombs[key]; !seen || seq > ts {
+			tombs[key] = seq
+		}
+		b.mu.Unlock()
+		return
+	}
+	if cur > seq {
+		b.mu.Unlock()
+		return // stale withdrawal: a newer advert epoch superseded it
+	}
+	if cur < seq {
+		// The withdrawal withdraws an advert epoch NEWER than the one
+		// recorded — that advert is still in flight on this link
+		// (reordered sends). The recorded older epoch dies with it, and
+		// a tombstone annihilates the chased advert when it lands;
+		// without it the late advert would resurrect a fully withdrawn
+		// stream.
+		tombs := b.unadvTomb[from]
+		if tombs == nil {
+			tombs = make(map[advKey]uint64)
+			b.unadvTomb[from] = tombs
+		}
+		key := advKey{stream: streamName, origin: origin}
+		if ts, seen := tombs[key]; !seen || seq > ts {
+			tombs[key] = seq
+		}
+	}
+	delete(origins, origin)
+	lastOrigin := len(origins) == 0
+	if lastOrigin {
+		delete(set, streamName)
+		if len(set) == 0 {
+			delete(b.adverts, from)
+		}
+	}
+	neighbors := append([]topology.NodeID(nil), b.neighbors...)
+	var resend []pendSend
+	if lastOrigin {
+		resend = b.pruneAdvertLocked(streamName, from, true)
+	}
+	b.mu.Unlock()
+	for _, n := range neighbors {
+		if n != from {
+			b.net.CountControl(b.Node, n, advertSize)
+			b.net.Peer(n).UnadvertFrom(b.Node, streamName, origin, seq)
+		}
+	}
+	b.sendPends(resend)
+}
+
+// pruneAdvertLocked removes the routing state stranded by the disappearance
+// of streamName's advertisement — via direction withdrawnDir (>= 0, the
+// flood-processing case) or via this broker's own advert (withdrawnDir < 0,
+// the origin case). Two symmetric rules, each broker applying them locally
+// as the withdrawal flood passes (state at neighbors is pruned by THEIR
+// rules — the mirror conditions coincide, so no retraction messages are
+// needed):
+//
+//   - rule (a), only when a direction entry changed: every record listing
+//     the stream that was propagated toward withdrawnDir and has no
+//     remaining advertised stream there loses its sentTo mark — the
+//     neighbor is dropping its mirrored record under rule (b);
+//   - rule (b): every record of another direction listing the stream whose
+//     streams are no longer advertised anywhere else (own adverts and the
+//     remaining directions) is removed outright — the upstream neighbor is
+//     clearing its sentTo mark toward us under rule (a), and no tuple it
+//     could match can ever arrive here.
+//
+// Both rules release covered-by suppression the affected records provided;
+// the freed decisions are re-decided in canonical sweep order exactly as
+// unsubscribe retraction re-decides them, and the resulting re-propagations
+// are returned for delivery outside the lock. Caller holds b.mu with the
+// advert tables already updated.
+func (b *Broker) pruneAdvertLocked(streamName string, withdrawnDir topology.NodeID, ruleA bool) []pendSend {
+	var edges []covEdge
+	var supStreams map[string]bool         // linear-reference sweep only
+	var targetSet map[topology.NodeID]bool // linear-reference sweep only
+	noteSup := func(c *compiledSub) {
+		if !b.linearMatch {
+			return
+		}
+		if supStreams == nil {
+			supStreams = make(map[string]bool)
+			targetSet = make(map[topology.NodeID]bool)
+		}
+		for _, s := range c.sub.Streams {
+			supStreams[s] = true
+		}
+	}
+	if ruleA {
+		sweep := func(d *dirIndex) {
+			for _, c := range d.byStream[streamName] {
+				if !c.sentTo[withdrawnDir] || b.advertisesAny(withdrawnDir, c.sub.Streams) {
+					continue
+				}
+				delete(c.sentTo, withdrawnDir)
+				// Suppression this record provided toward the withdrawn
+				// direction is no longer backed by a propagation:
+				// release exactly those edges for re-decision.
+				for e := range c.suppresses {
+					if e.to != withdrawnDir {
+						continue
+					}
+					delete(c.suppresses, e)
+					delete(e.rec.coveredBy, e.to)
+					edges = append(edges, e)
+				}
+				if len(c.suppresses) == 0 {
+					c.suppresses = nil
+				}
+				noteSup(c)
+			}
+		}
+		sweep(b.idx.locals)
+		for _, d := range b.idx.dirOrder {
+			sweep(b.idx.dirs[d])
+		}
+		if b.linearMatch && len(edges) > 0 && targetSet != nil {
+			targetSet[withdrawnDir] = true
+		}
+	}
+	// rule (b): orphaned records, per direction in ascending order. The
+	// orphans are collected BEFORE any removal: d.remove splices the live
+	// d.byStream slice, so interleaving it into the scan would skip
+	// records.
+	for _, a := range b.idx.dirOrder {
+		if a == withdrawnDir {
+			// The withdrawn direction's own records are justified by
+			// the OTHER sides' adverts, which did not change.
+			continue
+		}
+		d := b.idx.dirs[a]
+		list := d.byStream[streamName]
+		if len(list) == 0 {
+			continue
+		}
+		orphans := make([]*compiledSub, 0, len(list))
+		for _, c := range list {
+			if !b.advertisedExceptAny(a, c.sub.Streams) {
+				orphans = append(orphans, c)
+			}
+		}
+		for _, c := range orphans {
+			d.remove(c)
+			edges = append(edges, detachCovEdges(c)...)
+			noteSup(c)
+			if b.linearMatch {
+				for n := range c.sentTo {
+					targetSet[n] = true
+				}
+			}
+		}
+	}
+	if len(edges) == 0 {
+		return nil
+	}
+	sortCovEdges(edges)
+	var targets []topology.NodeID
+	if b.linearMatch {
+		// The reference sweep visits every record sharing a stream with
+		// an affected suppressor, toward every neighbor a freed decision
+		// could concern; decisions not freed are no-ops (sent, still
+		// covered, or not advertised), so the outcome matches the
+		// edge-driven pass bit for bit.
+		for _, e := range edges {
+			if targetSet == nil {
+				targetSet = make(map[topology.NodeID]bool)
+			}
+			targetSet[e.to] = true
+		}
+		targets = sortedNodeSet(targetSet)
+	}
+	return b.unsuppressLocked(supStreams, targets, edges)
+}
+
+// sendPends delivers re-propagations decided under the lock.
+func (b *Broker) sendPends(pends []pendSend) {
+	for _, s := range pends {
+		b.net.CountControl(b.Node, s.to, subSize(s.sub))
+		b.net.Peer(s.to).PropagateFrom(s.sub, b.Node)
+	}
+}
+
+// advertisedExceptAny reports whether any of the streams is advertised by
+// this broker's own clients or from any direction other than 'exclude' —
+// i.e. whether a neighbor in direction 'exclude' still has a reason to keep
+// a subscription listing these streams recorded here. This is exactly the
+// advert set the broker announces toward 'exclude' (syncAdvertsTo), the
+// mirror of the neighbor's advertisesAny check.
+func (b *Broker) advertisedExceptAny(exclude topology.NodeID, streams []string) bool {
+	for _, s := range streams {
+		if _, ok := b.ownAdverts[s]; ok {
+			return true
+		}
+	}
+	for d, set := range b.adverts {
+		if d == exclude {
+			continue
+		}
+		for _, s := range streams {
+			if len(set[s]) > 0 {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // replayLocked collects the subscriptions to re-propagate toward 'from'
@@ -317,10 +664,7 @@ func (b *Broker) Unsubscribe(id string) {
 		b.net.CountControl(b.Node, n, retractSize)
 		b.net.Peer(n).RetractFrom(b.Node, id, seq)
 	}
-	for _, s := range resend {
-		b.net.CountControl(b.Node, s.to, subSize(s.sub))
-		b.net.Peer(s.to).PropagateFrom(s.sub, b.Node)
-	}
+	b.sendPends(resend)
 }
 
 // retractFrom handles a retraction arriving from a neighbor: the record of
@@ -364,10 +708,7 @@ func (b *Broker) retractFrom(from topology.NodeID, id string, seq uint64) {
 		b.net.CountControl(b.Node, n, retractSize)
 		b.net.Peer(n).RetractFrom(b.Node, id, seq)
 	}
-	for _, s := range resend {
-		b.net.CountControl(b.Node, s.to, subSize(s.sub))
-		b.net.Peer(s.to).PropagateFrom(s.sub, b.Node)
-	}
+	b.sendPends(resend)
 }
 
 // pendSend is one subscription re-propagation decided under the lock and
@@ -532,6 +873,25 @@ func (b *Broker) propagate(sub *Subscription, from topology.NodeID) {
 				}
 			}
 		}
+		if !b.advertisedExceptAny(from, sub.Streams) {
+			// Mirror-rule install check: a record from this direction is
+			// justified only while something OTHER than that direction
+			// advertises one of its streams — the exact condition under
+			// which the sender keeps its sentTo mark. The sender checked
+			// it before sending, so the only way to get here is an
+			// advert withdrawal that crossed this propagation in flight:
+			// the sender's mark is (being) cleared by its rule (a), so
+			// no retraction will ever chase this record — installing it
+			// would strand it forever. Drop it; a re-advertisement
+			// replays the subscription from the sender's surviving copy.
+			var resend []pendSend
+			if superseded {
+				resend = b.unsuppressLocked(supStreams, supTargets, supEdges)
+			}
+			b.mu.Unlock()
+			b.sendPends(resend)
+			return
+		}
 		rec = compileSub(sub.Clone(), nil)
 		rec.seq = sub.Seq
 		rec.srcDir = from
@@ -582,10 +942,7 @@ func (b *Broker) propagate(sub *Subscription, from topology.NodeID) {
 		b.net.CountControl(b.Node, n, subSize(sub))
 		b.net.Peer(n).PropagateFrom(sub, b.Node)
 	}
-	for _, s := range resend {
-		b.net.CountControl(b.Node, s.to, subSize(s.sub))
-		b.net.Peer(s.to).PropagateFrom(s.sub, b.Node)
-	}
+	b.sendPends(resend)
 }
 
 // coverFor returns the first recorded subscription — locals in registration
@@ -633,7 +990,7 @@ func (b *Broker) advertisesAny(neighbor topology.NodeID, streams []string) bool 
 		return false
 	}
 	for _, s := range streams {
-		if set[s] {
+		if len(set[s]) > 0 {
 			return true
 		}
 	}
@@ -925,33 +1282,61 @@ func (b *Broker) RoutingStateSize() (remote, local int) {
 	return remote, len(b.idx.locals.subs)
 }
 
-// syncAdvertsTo replays every stream this broker knows to be advertised —
-// its own and those learned from other directions — toward one neighbor, in
-// sorted order. Used when a broker joins the overlay dynamically, so the
-// newcomer learns the full advert state of the network it attached to.
+// AdvertStateSize reports the broker's advert-table population: own counts
+// the streams advertised by this broker's clients, learned the (direction,
+// stream, origin) entries recorded from neighbors. Both drop to zero when
+// every advertisement in the overlay has been withdrawn — the teardown
+// half of the drain-to-empty invariant.
+func (b *Broker) AdvertStateSize() (own, learned int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, set := range b.adverts {
+		for _, origins := range set {
+			learned += len(origins)
+		}
+	}
+	return len(b.ownAdverts), learned
+}
+
+// syncAdvertsTo replays every advertisement this broker knows — its own and
+// those learned from other directions, each with its origin and epoch —
+// toward one neighbor, in sorted (stream, origin) order. Used when a broker
+// joins the overlay dynamically, so the newcomer learns the full advert
+// state of the network it attached to and later withdrawals match the
+// epochs it recorded.
 func (b *Broker) syncAdvertsTo(n topology.NodeID) {
 	b.mu.Lock()
-	known := make(map[string]bool, len(b.ownAdverts))
-	for s := range b.ownAdverts {
-		known[s] = true
+	known := make(map[advKey]uint64, len(b.ownAdverts))
+	for s, seq := range b.ownAdverts {
+		known[advKey{stream: s, origin: b.Node}] = seq
 	}
 	for d, set := range b.adverts {
 		if d == n {
 			continue
 		}
-		for s := range set {
-			known[s] = true
+		for s, origins := range set {
+			for origin, seq := range origins {
+				key := advKey{stream: s, origin: origin}
+				if cur, ok := known[key]; !ok || seq > cur {
+					known[key] = seq
+				}
+			}
 		}
 	}
-	streams := make([]string, 0, len(known))
-	for s := range known {
-		streams = append(streams, s)
+	keys := make([]advKey, 0, len(known))
+	for k := range known {
+		keys = append(keys, k)
 	}
-	sort.Strings(streams)
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].stream != keys[j].stream {
+			return keys[i].stream < keys[j].stream
+		}
+		return keys[i].origin < keys[j].origin
+	})
 	b.mu.Unlock()
-	for _, s := range streams {
+	for _, k := range keys {
 		b.net.CountControl(b.Node, n, advertSize)
-		b.net.Peer(n).AdvertFrom(b.Node, s)
+		b.net.Peer(n).AdvertFrom(b.Node, k.stream, k.origin, known[k])
 	}
 }
 

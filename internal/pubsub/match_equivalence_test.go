@@ -26,6 +26,7 @@ const (
 	eqSubscribe
 	eqPublish
 	eqUnsubscribe
+	eqUnadvertise
 )
 
 type eqOp struct {
@@ -104,17 +105,48 @@ func eqRandomTuple(r *rand.Rand) stream.Tuple {
 	return t
 }
 
-// eqScenario draws a full randomized churn workload: adverts,
-// subscriptions, unsubscriptions and publishes over a random broker set,
-// shuffled so registration, withdrawal and traffic interleave in arbitrary
-// order — including subscriptions registered before the adverts of their
-// streams exist (caught up by re-propagation epochs) and unsubscribes of
-// IDs that were never subscribed (explicit no-ops).
+// advLife keys one advertisement lifecycle: the advertising broker and the
+// stream name.
+type advLife struct {
+	node topology.NodeID
+	strm string
+}
+
+// eqScenario draws a full randomized churn workload: adverts, advert
+// withdrawals, subscriptions, unsubscriptions and publishes over a random
+// broker set, shuffled so registration, withdrawal and traffic interleave
+// in arbitrary order — including subscriptions registered before the
+// adverts of their streams exist (caught up by re-propagation epochs),
+// unsubscribes of IDs that were never subscribed (explicit no-ops), streams
+// advertised by two brokers where only one withdraws, and
+// unadvertise-then-re-advertise cycles (new epochs, full re-propagation).
 func eqScenario(r *rand.Rand, nodes int) []eqOp {
 	var ops []eqOp
+	// Per (node, stream) advertisement, a lifecycle: advertise, possibly
+	// withdraw, possibly advertise again. The per-key op order is
+	// canonical; the shuffle below scatters the positions and the fix-up
+	// pass replays each key's ops in canonical order at those positions.
+	advSeq := make(map[advLife][]int) // key -> op kinds in issue order
 	for _, s := range eqStreams {
+		seen := map[topology.NodeID]bool{}
 		for i := 0; i < 1+r.IntN(2); i++ {
-			ops = append(ops, eqOp{kind: eqAdvertise, node: topology.NodeID(r.IntN(nodes)), strm: s})
+			n := topology.NodeID(r.IntN(nodes))
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			key := advLife{node: n, strm: s}
+			life := []int{eqAdvertise}
+			if r.IntN(3) == 0 {
+				life = append(life, eqUnadvertise)
+				if r.IntN(2) == 0 {
+					life = append(life, eqAdvertise)
+				}
+			}
+			advSeq[key] = life
+			for _, kind := range life {
+				ops = append(ops, eqOp{kind: kind, node: n, strm: s})
+			}
 		}
 	}
 	for i := 0; i < 10+r.IntN(20); i++ {
@@ -150,6 +182,21 @@ func eqScenario(r *rand.Rand, nodes int) []eqOp {
 				ops[i], ops[j] = ops[j], ops[i]
 				pos[o.sub.ID] = i
 			}
+		}
+	}
+	// Replay each advert lifecycle in canonical order at its shuffled
+	// positions, so a withdrawal follows its advertisement and a
+	// re-advertisement follows the withdrawal.
+	advAt := make(map[advLife][]int)
+	for i, o := range ops {
+		if o.kind == eqAdvertise || o.kind == eqUnadvertise {
+			key := advLife{node: o.node, strm: o.strm}
+			advAt[key] = append(advAt[key], i)
+		}
+	}
+	for key, idxs := range advAt {
+		for j, i := range idxs {
+			ops[i].kind = advSeq[key][j]
 		}
 	}
 	return ops
@@ -197,6 +244,8 @@ func runEqScenario(t *testing.T, net *Network, ops []eqOp, log *[]string) {
 		switch o.kind {
 		case eqAdvertise:
 			b.Advertise(o.strm)
+		case eqUnadvertise:
+			b.Unadvertise(o.strm)
 		case eqSubscribe:
 			node, sub := o.node, o.sub.Clone()
 			if err := b.Subscribe(sub, func(s *Subscription, tp stream.Tuple) {
@@ -376,17 +425,34 @@ func TestChurnReferenceEquivalence(t *testing.T) {
 		var churnLog []string
 		runEqScenario(t, churn, ops, &churnLog)
 
-		// Survivors: subscriptions never withdrawn, in subscribe order.
+		// Survivors: advertisements never withdrawn (per node+stream,
+		// last lifecycle op wins) and subscriptions never withdrawn, in
+		// scenario order — adverts first, as a from-scratch deployment
+		// would issue them.
 		alive := make(map[string]bool)
+		aliveAdv := make(map[advLife]bool)
 		var refOps []eqOp
 		for _, o := range ops {
 			switch o.kind {
 			case eqAdvertise:
-				refOps = append(refOps, o)
+				aliveAdv[advLife{node: o.node, strm: o.strm}] = true
+			case eqUnadvertise:
+				delete(aliveAdv, advLife{node: o.node, strm: o.strm})
 			case eqSubscribe:
 				alive[o.sub.ID] = true
 			case eqUnsubscribe:
 				delete(alive, o.sub.ID)
+			}
+		}
+		advDone := make(map[advLife]bool)
+		for _, o := range ops {
+			if o.kind != eqAdvertise {
+				continue
+			}
+			key := advLife{node: o.node, strm: o.strm}
+			if aliveAdv[key] && !advDone[key] {
+				advDone[key] = true
+				refOps = append(refOps, o)
 			}
 		}
 		for _, o := range ops {
@@ -464,7 +530,9 @@ func TestChurnReferenceEquivalence(t *testing.T) {
 				seed, churn.data, ref.data)
 		}
 
-		// Withdrawing every survivor drains all routing state.
+		// Withdrawing every surviving subscription and advertisement
+		// drains all routing AND advert state — the full teardown
+		// invariant.
 		for _, o := range refOps {
 			if o.kind == eqSubscribe {
 				b, _ := churn.Broker(o.node)
@@ -472,6 +540,13 @@ func TestChurnReferenceEquivalence(t *testing.T) {
 			}
 		}
 		assertDrained(t, churn)
+		for _, o := range refOps {
+			if o.kind == eqAdvertise {
+				b, _ := churn.Broker(o.node)
+				b.Unadvertise(o.strm)
+			}
+		}
+		assertAdvertsDrained(t, churn)
 	}
 }
 

@@ -143,6 +143,73 @@ func (net *Network) AddBroker(n topology.NodeID) *Broker {
 	return b
 }
 
+// RemoveStream withdraws a stream advertised at the given source broker:
+// the advert withdrawal floods along the advert paths and every broker
+// prunes the advert entry plus the routing state it justified (see
+// Broker.Unadvertise). Removing a stream the broker never advertised — or
+// naming a node with no broker — is a no-op; the return value reports
+// whether a broker was found.
+func (net *Network) RemoveStream(source topology.NodeID, streamName string) bool {
+	b, ok := net.Broker(source)
+	if !ok {
+		return false
+	}
+	b.Unadvertise(streamName)
+	return true
+}
+
+// ResidualState describes every piece of routing or advert state any broker
+// still holds — empty exactly when the overlay has drained to nothing
+// (every subscription withdrawn, every advertisement withdrawn, no pending
+// tombstones). The churn-soak tests assert on it.
+func (net *Network) ResidualState() []string {
+	var out []string
+	for _, n := range net.Nodes() {
+		b, _ := net.Broker(n)
+		b.mu.Lock()
+		report := func(d *dirIndex, what string) {
+			if len(d.subs) > 0 {
+				out = append(out, fmt.Sprintf("broker %d: %d %s records", n, len(d.subs), what))
+			}
+			if len(d.byStream) > 0 {
+				out = append(out, fmt.Sprintf("broker %d: %d %s posting lists", n, len(d.byStream), what))
+			}
+			if len(d.union) > 0 {
+				out = append(out, fmt.Sprintf("broker %d: %d %s projection unions", n, len(d.union), what))
+			}
+			if len(d.aidx) > 0 {
+				out = append(out, fmt.Sprintf("broker %d: %d %s prune trees", n, len(d.aidx), what))
+			}
+			if len(d.byID) > 0 {
+				out = append(out, fmt.Sprintf("broker %d: %d %s ID entries", n, len(d.byID), what))
+			}
+			if len(d.retracted) > 0 {
+				out = append(out, fmt.Sprintf("broker %d: %d %s retraction tombstones", n, len(d.retracted), what))
+			}
+		}
+		report(b.idx.locals, "local")
+		for _, d := range sortedDirs(b.idx.dirs) {
+			report(b.idx.dirs[d], fmt.Sprintf("dir-%d", d))
+		}
+		if len(b.ownAdverts) > 0 {
+			out = append(out, fmt.Sprintf("broker %d: %d own adverts", n, len(b.ownAdverts)))
+		}
+		for d, set := range b.adverts {
+			if len(set) > 0 {
+				out = append(out, fmt.Sprintf("broker %d: %d advert streams from %d", n, len(set), d))
+			}
+		}
+		for d, tombs := range b.unadvTomb {
+			if len(tombs) > 0 {
+				out = append(out, fmt.Sprintf("broker %d: %d unadvert tombstones from %d", n, len(tombs), d))
+			}
+		}
+		b.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Peer implements Fabric with direct in-process calls. Locked like Broker
 // (AddBroker mutates the map); the cost is in line with the per-send
 // traffic-counter locking the fabric already pays.

@@ -316,24 +316,38 @@ type Graph struct {
 
 	idx *invIndex // lazily built inverted indexes; see ensureIndex
 	sc  *scratch  // reusable per-graph scratch for index traversals
+
+	// free lists the slots of removed vertices. AddVertex reuses them
+	// (newest first) before growing the arrays, so sustained
+	// insert/remove churn keeps Vertices, adj and the callers' parallel
+	// assignment arrays bounded by the peak population instead of the
+	// cumulative insertion count.
+	free []int
 }
 
 // invIndex is the inverted-index bundle enabling candidate-pair enumeration.
 // It is valid while n == len(g.Vertices); any vertex addition invalidates it
-// and the next ensureIndex rebuilds. It stores vertex IDs only — edge
+// and the next ensureIndex rebuilds. Vertex REMOVAL (RemoveVertex,
+// ShrinkVertex) keeps the count and repairs the postings in place instead —
+// each CSR segment carries its live length, so deleting an ID is a shift
+// within the segment, not a rebuild. It stores vertex IDs only — edge
 // weights always read rates live — so in-place SubRates perturbation never
 // stales it.
 type invIndex struct {
 	n int
 
 	// interested: CSR substream -> IDs (ascending) of vertices whose
-	// Interest has the bit.
+	// Interest has the bit. interestedLen[s] is the live entry count of
+	// segment s (== the segment span right after a build; removals
+	// shrink it in place).
 	interestedOff []int32
 	interestedIDs []int32
+	interestedLen []int32
 	// bySrc: CSR compact-source -> IDs of vertices interested in at least
-	// one substream of that source.
+	// one substream of that source, with live lengths like interested.
 	bySrcOff []int32
 	bySrcIDs []int32
+	bySrcLen []int32
 	// vertsOfSrc: compact-source -> IDs of vertices whose Nodes contain
 	// the source node (the source-node index).
 	vertsOfSrc [][]int32
@@ -440,8 +454,22 @@ func (g *Graph) AddQVertex(q QueryInfo) *Vertex {
 }
 
 // AddVertex adds a prebuilt (e.g. coarsened, received-from-child) vertex,
-// reassigning its ID.
+// reassigning its ID. A slot freed by RemoveVertex is reused before the
+// arrays grow; either way the inverted indexes are rebuilt by the next
+// ensureIndex (the appended/reused content is not in the postings).
 func (g *Graph) AddVertex(v *Vertex) *Vertex {
+	if n := len(g.free); n > 0 {
+		id := g.free[n-1]
+		g.free = g.free[:n-1]
+		v.ID = id
+		g.Vertices[id] = v
+		g.adj[id] = g.adj[id][:0]
+		// Slot reuse keeps len(Vertices) unchanged, so the count-based
+		// staleness check would wrongly keep the repaired index alive:
+		// invalidate it explicitly.
+		g.idx = nil
+		return v
+	}
 	v.ID = len(g.Vertices)
 	g.Vertices = append(g.Vertices, v)
 	g.adj = append(g.adj, nil)
@@ -601,6 +629,14 @@ func (g *Graph) ensureIndex() *invIndex {
 	}
 	idx.interestedIDs = make([]int32, idx.interestedOff[nSub])
 	idx.bySrcIDs = make([]int32, idx.bySrcOff[nSrc])
+	idx.interestedLen = make([]int32, nSub)
+	for s := 0; s < nSub; s++ {
+		idx.interestedLen[s] = idx.interestedOff[s+1] - idx.interestedOff[s]
+	}
+	idx.bySrcLen = make([]int32, nSrc)
+	for s := 0; s < nSrc; s++ {
+		idx.bySrcLen[s] = idx.bySrcOff[s+1] - idx.bySrcOff[s]
+	}
 	subCur := make([]int32, nSub)
 	copy(subCur, idx.interestedOff[:nSub])
 	srcCur := make([]int32, nSrc)
@@ -635,11 +671,98 @@ func (g *Graph) ensureIndex() *invIndex {
 }
 
 func (idx *invIndex) interestedIn(s int) []int32 {
-	return idx.interestedIDs[idx.interestedOff[s]:idx.interestedOff[s+1]]
+	off := idx.interestedOff[s]
+	return idx.interestedIDs[off : off+idx.interestedLen[s]]
 }
 
 func (idx *invIndex) bySource(si int32) []int32 {
-	return idx.bySrcIDs[idx.bySrcOff[si]:idx.bySrcOff[si+1]]
+	off := idx.bySrcOff[si]
+	return idx.bySrcIDs[off : off+idx.bySrcLen[si]]
+}
+
+// segDelete removes id from the sorted live segment ids[off:off+n],
+// returning the new live length (n unchanged when id is absent).
+func segDelete(ids []int32, off, n, id int32) int32 {
+	seg := ids[off : off+n]
+	lo, hi := 0, len(seg)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if seg[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(seg) || seg[lo] != id {
+		return n
+	}
+	copy(seg[lo:], seg[lo+1:])
+	return n - 1
+}
+
+// idSliceDelete removes id from a sorted id slice (the map-backed postings).
+func idSliceDelete(ids []int32, id int32) []int32 {
+	for i, x := range ids {
+		if x == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// indexForget repairs the inverted indexes after vertex id lost the given
+// content: interest bits, node roles and result-edge keys are passed
+// explicitly so ShrinkVertex can forget only the delta. No-op when no index
+// is built. Caller must have checked idx.n == len(g.Vertices).
+func (g *Graph) indexForget(id int32, interestBits []int, dropSrcs []int32, nodes []topology.NodeID, resultNodes []topology.NodeID) {
+	idx := g.idx
+	for _, s := range interestBits {
+		idx.interestedLen[s] = segDelete(idx.interestedIDs, idx.interestedOff[s], idx.interestedLen[s], id)
+	}
+	for _, si := range dropSrcs {
+		idx.bySrcLen[si] = segDelete(idx.bySrcIDs, idx.bySrcOff[si], idx.bySrcLen[si], id)
+	}
+	for _, node := range nodes {
+		if si, ok := g.srcIdxOfNode[node]; ok {
+			idx.vertsOfSrc[si] = idSliceDelete(idx.vertsOfSrc[si], id)
+		}
+		if rest := idSliceDelete(idx.vertsOfNode[node], id); len(rest) == 0 {
+			delete(idx.vertsOfNode, node)
+		} else {
+			idx.vertsOfNode[node] = rest
+		}
+	}
+	for _, node := range resultNodes {
+		if rest := idSliceDelete(idx.resultTo[node], id); len(rest) == 0 {
+			delete(idx.resultTo, node)
+		} else {
+			idx.resultTo[node] = rest
+		}
+	}
+}
+
+// interestBitsOf lists the set bits of a vertex interest below the substream
+// space bound, and the distinct compact sources they originate from.
+func (g *Graph) interestBitsOf(interest *bitvec.Vector) (set []int, srcs []int32) {
+	if interest == nil {
+		return nil, nil
+	}
+	seen := make(map[int32]bool)
+	for wi, w := range interest.Words() {
+		for w != 0 {
+			s := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if s >= len(g.SubRates) {
+				break
+			}
+			set = append(set, s)
+			if si := g.srcIdxOfSub[s]; !seen[si] {
+				seen[si] = true
+				srcs = append(srcs, si)
+			}
+		}
+	}
+	return set, srcs
 }
 
 // srcRates is the per-vertex cached weighted interest rate, broken down by
@@ -1045,6 +1168,90 @@ func (g *Graph) ForEachOverlap(iv *bitvec.Vector, fn func(vertex int, w float64)
 // RemoveVertexEdges detaches vertex i from all neighbors (used when a
 // vertex migrates out of a coordinator's graph).
 func (g *Graph) RemoveVertexEdges(i int) { g.deleteVertexEdges(i) }
+
+// RemoveVertex deletes vertex id from the graph — the teardown primitive of
+// online query removal. Its edges are detached, the slot is niled (other
+// vertices keep their IDs, so parallel assignment arrays stay aligned), and
+// the inverted indexes are repaired IN PLACE: the ID is deleted from every
+// posting list its content appeared in, so index consumers (ForEachOverlap,
+// ConnectVertex) never surface the dead slot and no vertex-count-triggered
+// rebuild is paid. Returns the removed vertex (nil if the slot was already
+// empty).
+func (g *Graph) RemoveVertex(id int) *Vertex {
+	if id < 0 || id >= len(g.Vertices) {
+		return nil
+	}
+	v := g.Vertices[id]
+	if v == nil {
+		return nil
+	}
+	g.deleteVertexEdges(id)
+	if g.idx != nil {
+		if g.idx.n != len(g.Vertices) {
+			g.idx = nil // stale anyway: let the next ensureIndex rebuild
+		} else {
+			bits, srcs := g.interestBitsOf(v.Interest)
+			resultNodes := make([]topology.NodeID, 0, len(v.ResultRates))
+			for node := range v.ResultRates {
+				resultNodes = append(resultNodes, node)
+			}
+			g.indexForget(int32(id), bits, srcs, v.Nodes, resultNodes)
+		}
+	}
+	g.Vertices[id] = nil
+	g.free = append(g.free, id)
+	return v
+}
+
+// ShrinkVertex replaces vertex id with nv — a vertex with strictly reduced
+// content (queries removed from a merged vertex): nv's interest bits,
+// result-rate keys and node list must be subsets of the old vertex's (node
+// lists equal, in practice, since query-bearing vertices carry no nodes
+// under the hierarchy's NoQN coarsening). The inverted indexes are repaired
+// in place for exactly the content delta, and the vertex's incident edges
+// are re-estimated from the new content against the index's candidates —
+// the removal counterpart of ConnectVertex. nv is installed with ID id.
+func (g *Graph) ShrinkVertex(id int, nv *Vertex) {
+	old := g.Vertices[id]
+	g.deleteVertexEdges(id)
+	if g.idx != nil && old != nil {
+		if g.idx.n != len(g.Vertices) {
+			g.idx = nil
+		} else {
+			// Forget only the delta: bits and result keys the new
+			// content no longer has, and sources no remaining bit
+			// originates from.
+			oldBits, oldSrcs := g.interestBitsOf(old.Interest)
+			_, newSrcs := g.interestBitsOf(nv.Interest)
+			var gone []int
+			for _, s := range oldBits {
+				if nv.Interest == nil || !nv.Interest.Test(s) {
+					gone = append(gone, s)
+				}
+			}
+			keep := make(map[int32]bool, len(newSrcs))
+			for _, si := range newSrcs {
+				keep[si] = true
+			}
+			var dropSrcs []int32
+			for _, si := range oldSrcs {
+				if !keep[si] {
+					dropSrcs = append(dropSrcs, si)
+				}
+			}
+			var dropResult []topology.NodeID
+			for node := range old.ResultRates {
+				if _, still := nv.ResultRates[node]; !still {
+					dropResult = append(dropResult, node)
+				}
+			}
+			g.indexForget(int32(id), gone, dropSrcs, nil, dropResult)
+		}
+	}
+	nv.ID = id
+	g.Vertices[id] = nv
+	g.ConnectVertex(nv)
+}
 
 // DropOverlapEdges removes every query-query edge, leaving only source and
 // result edges — the ablation of the paper's communication-sharing model

@@ -1,0 +1,242 @@
+package querygraph
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/topology"
+)
+
+// This file property-tests the teardown primitives RemoveVertex and
+// ShrinkVertex: after arbitrary interleavings of additions, removals and
+// shrinks, the in-place-repaired inverted index must behave exactly like an
+// index rebuilt from scratch over the surviving vertices, and re-estimated
+// edges must equal a full ComputeEdges pass.
+
+func randRemQuery(r *rand.Rand, id int, nSub int, procs []topology.NodeID) QueryInfo {
+	iv := bitvec.New(nSub)
+	for i := 0; i < 1+r.IntN(4); i++ {
+		iv.Set(r.IntN(nSub))
+	}
+	return QueryInfo{
+		Name:       fmt.Sprintf("q%d", id),
+		Proxy:      procs[r.IntN(len(procs))],
+		Load:       1 + r.Float64(),
+		Interest:   iv,
+		ResultRate: 1 + 10*r.Float64(),
+		StateSize:  r.Float64(),
+	}
+}
+
+// overlapSnapshot captures ForEachOverlap's output for a probe interest —
+// the index-driven view routeAt consumes.
+func overlapSnapshot(g *Graph, iv *bitvec.Vector) map[int]float64 {
+	out := make(map[int]float64)
+	g.ForEachOverlap(iv, func(v int, w float64) {
+		if g.Vertices[v] == nil {
+			panic(fmt.Sprintf("index surfaced removed vertex %d", v))
+		}
+		out[v] = w
+	})
+	return out
+}
+
+// edgeSnapshot renders the live adjacency as a canonical map.
+func edgeSnapshot(g *Graph) map[[2]int]float64 {
+	out := make(map[[2]int]float64)
+	for i, run := range g.AdjacencyLists() {
+		if i >= len(g.Vertices) || g.Vertices[i] == nil {
+			continue
+		}
+		for _, e := range run {
+			a, b := i, e.To
+			if a > b {
+				a, b = b, a
+			}
+			out[[2]int{a, b}] = e.W
+		}
+	}
+	return out
+}
+
+// rebuiltTwin constructs a fresh graph holding exactly the surviving
+// vertices of g (clones, same content) and returns it plus the ID mapping.
+func rebuiltTwin(g *Graph) (*Graph, []int) {
+	twin := NewOnSpace(g.Space)
+	idOf := make([]int, len(g.Vertices))
+	for i := range idOf {
+		idOf[i] = -1
+	}
+	for i, v := range g.Vertices {
+		if v == nil {
+			continue
+		}
+		cv := v.Clone()
+		cv.Interest = v.Interest // content-identical is what matters
+		idOf[i] = twin.AddVertex(cv).ID
+	}
+	twin.ComputeEdges()
+	return twin, idOf
+}
+
+// TestRemoveVertexRepairsIndex: random add/remove/shrink churn; after every
+// mutation the repaired index's overlap view and the re-estimated edges are
+// bit-identical to a from-scratch twin graph over the surviving vertices.
+func TestRemoveVertexRepairsIndex(t *testing.T) {
+	procs := []topology.NodeID{0, 1, 2, 3}
+	for seed := uint64(0); seed < 25; seed++ {
+		r := rand.New(rand.NewPCG(seed, 4242))
+		nSub := 8 + r.IntN(24)
+		subRates := make([]float64, nSub)
+		sourceOfSub := make([]topology.NodeID, nSub)
+		for i := range subRates {
+			subRates[i] = 1 + 5*r.Float64()
+			sourceOfSub[i] = topology.NodeID(10 + r.IntN(3))
+		}
+		g, err := New(subRates, sourceOfSub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Anchor n-vertices (sources and proxies), as coordinator graphs
+		// have.
+		for _, n := range []topology.NodeID{10, 11, 12, 0, 1, 2, 3} {
+			g.AddNVertex(n, int(n)%3, true)
+		}
+		var queries []QueryInfo
+		for i := 0; i < 12+r.IntN(12); i++ {
+			q := randRemQuery(r, i, nSub, procs)
+			queries = append(queries, q)
+			v := g.AddQVertex(q)
+			g.ConnectVertex(v) // builds the index incrementally, like Insert
+		}
+		live := make(map[int]bool)
+		for i, v := range g.Vertices {
+			if v != nil && len(v.Queries) > 0 {
+				live[i] = true
+			}
+		}
+
+		check := func(step string) {
+			t.Helper()
+			twin, idOf := rebuiltTwin(g)
+			// Edges of the churned graph == full recompute on the twin.
+			got := edgeSnapshot(g)
+			want := edgeSnapshot(twin)
+			remapped := make(map[[2]int]float64, len(got))
+			for k, w := range got {
+				a, b := idOf[k[0]], idOf[k[1]]
+				if a < 0 || b < 0 {
+					t.Fatalf("seed %d %s: edge %v touches removed vertex", seed, step, k)
+				}
+				if a > b {
+					a, b = b, a
+				}
+				remapped[[2]int{a, b}] = w
+			}
+			if !reflect.DeepEqual(remapped, want) {
+				t.Fatalf("seed %d %s: edges diverge from rebuilt twin\ngot:  %v\nwant: %v", seed, step, remapped, want)
+			}
+			// Overlap view for random probes.
+			for p := 0; p < 5; p++ {
+				iv := bitvec.New(nSub)
+				for i := 0; i < 1+r.IntN(4); i++ {
+					iv.Set(r.IntN(nSub))
+				}
+				gotOv := overlapSnapshot(g, iv)
+				wantOv := overlapSnapshot(twin, iv)
+				remappedOv := make(map[int]float64, len(gotOv))
+				for v, w := range gotOv {
+					remappedOv[idOf[v]] = w
+				}
+				if !reflect.DeepEqual(remappedOv, wantOv) {
+					t.Fatalf("seed %d %s: overlap view diverges\ngot:  %v\nwant: %v", seed, step, remappedOv, wantOv)
+				}
+			}
+		}
+
+		for round := 0; round < 10; round++ {
+			ids := make([]int, 0, len(live))
+			for id := range live {
+				ids = append(ids, id)
+			}
+			switch {
+			case len(ids) > 0 && r.IntN(2) == 0:
+				// Remove a random query vertex.
+				id := ids[r.IntN(len(ids))]
+				if g.RemoveVertex(id) == nil {
+					t.Fatalf("seed %d: RemoveVertex(%d) found empty slot", seed, id)
+				}
+				delete(live, id)
+				check(fmt.Sprintf("round %d remove %d", round, id))
+			case len(ids) > 0 && r.IntN(2) == 0:
+				// Shrink: drop the vertex's last query, keep the rest —
+				// here vertices are atomic, so synthesize a 2-query
+				// merged vertex first, then shrink it back down.
+				id := ids[r.IntN(len(ids))]
+				old := g.Vertices[id]
+				extra := randRemQuery(r, 1000+round, nSub, procs)
+				merged := &Vertex{
+					Weight:      old.Weight + extra.Load,
+					Clu:         ClusterUnknown,
+					Queries:     append(append([]QueryInfo(nil), old.Queries...), extra),
+					Interest:    old.Interest.Clone(),
+					ResultRates: map[topology.NodeID]float64{},
+					StateSize:   old.StateSize + extra.StateSize,
+				}
+				_ = merged.Interest.Or(extra.Interest)
+				for n, rr := range old.ResultRates {
+					merged.ResultRates[n] += rr
+				}
+				merged.ResultRates[extra.Proxy] += extra.ResultRate
+				// Growing content needs the count-based rebuild path:
+				// install the merged vertex as a NEW vertex and remove
+				// the old one (exactly how a coarse vertex arises),
+				// then shrink the new vertex back to old's content.
+				g.RemoveVertex(id)
+				delete(live, id)
+				nv := g.AddVertex(merged)
+				g.ConnectVertex(nv)
+				check(fmt.Sprintf("round %d merge-into %d", round, nv.ID))
+				shrunk := &Vertex{
+					Weight:      old.Weight,
+					Clu:         ClusterUnknown,
+					Queries:     append([]QueryInfo(nil), old.Queries...),
+					Interest:    old.Interest.Clone(),
+					ResultRates: map[topology.NodeID]float64{},
+					StateSize:   old.StateSize,
+				}
+				for n, rr := range old.ResultRates {
+					shrunk.ResultRates[n] += rr
+				}
+				g.ShrinkVertex(nv.ID, shrunk)
+				live[nv.ID] = true
+				check(fmt.Sprintf("round %d shrink %d", round, nv.ID))
+			default:
+				q := randRemQuery(r, 100+round, nSub, procs)
+				queries = append(queries, q)
+				v := g.AddQVertex(q)
+				g.ConnectVertex(v)
+				live[v.ID] = true
+				check(fmt.Sprintf("round %d add %d", round, v.ID))
+			}
+		}
+
+		// Drain: removing every query vertex leaves an index that still
+		// answers (empty) overlap queries and edge scans correctly.
+		for id := range live {
+			g.RemoveVertex(id)
+		}
+		probe := bitvec.New(nSub)
+		for i := 0; i < nSub; i++ {
+			probe.Set(i)
+		}
+		for v, w := range overlapSnapshot(g, probe) {
+			if len(g.Vertices[v].Queries) > 0 {
+				t.Fatalf("seed %d: drained graph still surfaces query vertex %d (w=%v)", seed, v, w)
+			}
+		}
+	}
+}

@@ -27,18 +27,23 @@ const (
 	MsgSubscribe
 	MsgData
 	MsgUnsubscribe
+	// MsgUnadvertise withdraws an advertisement: the (StreamName, Origin)
+	// advert at epoch Seq or older is pruned along the advert paths.
+	MsgUnadvertise
 )
 
 // Envelope is the single wire message type.
 type Envelope struct {
 	Kind MsgKind
 	From topology.NodeID
-	// Advert
+	// Advert / Unadvertise: the stream, the broker whose clients publish
+	// it, and the epoch the origin stamped the advertisement with.
 	StreamName string
+	Origin     topology.NodeID
 	// Subscribe
 	Sub *WireSubscription
-	// Unsubscribe (retraction): the withdrawn subscription's ID and the
-	// epoch being retracted.
+	// Unsubscribe (retraction): the withdrawn subscription's ID. Seq is
+	// the epoch being retracted (shared with Advert/Unadvertise).
 	SubID string
 	Seq   uint64
 	// Data
@@ -236,7 +241,9 @@ func (n *Node) serve(conn net.Conn) {
 		}
 		switch env.Kind {
 		case MsgAdvert:
-			n.Broker.AdvertFrom(env.From, env.StreamName)
+			n.Broker.AdvertFrom(env.From, env.StreamName, env.Origin, env.Seq)
+		case MsgUnadvertise:
+			n.Broker.UnadvertFrom(env.From, env.StreamName, env.Origin, env.Seq)
 		case MsgSubscribe:
 			if env.Sub != nil {
 				n.Broker.PropagateFrom(fromWire(env.Sub), env.From)
@@ -282,8 +289,12 @@ type remotePeer struct {
 	id topology.NodeID
 }
 
-func (r remotePeer) AdvertFrom(from topology.NodeID, streamName string) {
-	_ = r.n.send(r.id, Envelope{Kind: MsgAdvert, From: from, StreamName: streamName})
+func (r remotePeer) AdvertFrom(from topology.NodeID, streamName string, origin topology.NodeID, seq uint64) {
+	_ = r.n.send(r.id, Envelope{Kind: MsgAdvert, From: from, StreamName: streamName, Origin: origin, Seq: seq})
+}
+
+func (r remotePeer) UnadvertFrom(from topology.NodeID, streamName string, origin topology.NodeID, seq uint64) {
+	_ = r.n.send(r.id, Envelope{Kind: MsgUnadvertise, From: from, StreamName: streamName, Origin: origin, Seq: seq})
 }
 
 func (r remotePeer) PropagateFrom(sub *pubsub.Subscription, from topology.NodeID) {

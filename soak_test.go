@@ -1,0 +1,355 @@
+package cosmos
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// Churn soak: a randomized register/subscribe(submit)/publish/cancel/
+// unregister fuzz over a live middleware, asserting the two teardown
+// invariants end to end:
+//
+//   - drain-to-empty: after cancelling every query and unregistering every
+//     stream, every broker holds zero routing and advert state and the
+//     coordinator tree holds zero residual queries, vertices and load;
+//   - rebuild equivalence: right before teardown, the churned middleware
+//     delivers exactly what a from-scratch middleware (surviving streams
+//     registered, surviving queries submitted, non-survivors withdrawn)
+//     delivers for an identical probe workload.
+//
+// The quick form runs in PR CI as a normal test; the long form (more
+// seeds, higher op count) is enabled with COSMOS_SOAK_LONG=1 and runs —
+// under -race — in the nightly workflow. Every run logs its seed;
+// reproduce a failure with COSMOS_SOAK_SEED=<seed>.
+
+const soakStreams = 6
+
+type soakQuery struct {
+	idx    int // index into the delivery logs
+	cql    string
+	proxy  NodeID
+	handle *QueryHandle
+}
+
+type soakHarness struct {
+	m    *Middleware
+	logs []*[]string // per submitted query, in submit order
+}
+
+func soakSchema() stream.Schema {
+	return stream.Schema{Attrs: []stream.Attribute{{Name: "v", Type: stream.Float}}}
+}
+
+func soakStreamName(i int) string { return fmt.Sprintf("Soak%d", i) }
+
+func renderSoakTuple(t Tuple) string {
+	keys := make([]string, 0, len(t.Attrs))
+	for k := range t.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	// The stream name of a result tuple is "results@<processor>" — a
+	// placement artifact, not content — so it is deliberately omitted:
+	// the churned and rebuilt middleware may place a query differently
+	// while delivering identical results.
+	var b strings.Builder
+	fmt.Fprintf(&b, "@%d sz=%d", t.Timestamp, t.Size)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%s", k, t.Attrs[k])
+	}
+	return b.String()
+}
+
+func (h *soakHarness) submit(t *testing.T, q *soakQuery) {
+	t.Helper()
+	log := h.logs[q.idx]
+	handle, err := h.m.Submit(q.cql, q.proxy, func(tp Tuple) {
+		*log = append(*log, renderSoakTuple(tp))
+	})
+	if err != nil {
+		t.Fatalf("Submit %q: %v", q.cql, err)
+	}
+	q.handle = handle
+}
+
+// runSoak drives one seeded soak run and returns nothing — it fails the
+// test on any invariant violation.
+func runSoak(t *testing.T, seed uint64, nOps int) {
+	t.Logf("churn soak: seed=%d ops=%d (reproduce with COSMOS_SOAK_SEED=%d)", seed, nOps, seed)
+	r := rand.New(rand.NewPCG(seed, 0x50a7))
+	g, procs := testTopology(t)
+	processors := procs[:4]
+	sources := []NodeID{procs[4], procs[5]}
+	newMW := func() *Middleware {
+		m, err := New(g, processors, Config{K: 2, VMax: 10, Seed: 5})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return m
+	}
+
+	churn := &soakHarness{m: newMW()}
+	// Two streams pre-registered so Start has an overlay to build; the
+	// rest register (and unregister, and revive) online.
+	live := make(map[int]bool)
+	everRegistered := []int{0, 1}
+	registered := map[int]bool{0: true, 1: true}
+	defOf := func(i int) StreamDef {
+		return StreamDef{
+			Name:             soakStreamName(i),
+			Schema:           soakSchema(),
+			Source:           sources[i%len(sources)],
+			Substreams:       1 + i%2,
+			RatePerSubstream: 5,
+		}
+	}
+	for _, i := range everRegistered {
+		if err := churn.m.RegisterStream(defOf(i)); err != nil {
+			t.Fatalf("RegisterStream: %v", err)
+		}
+	}
+	if err := churn.m.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+
+	var queries []*soakQuery // all ever submitted, in submit order
+	ts := int64(0)
+	for op := 0; op < nOps; op++ {
+		regList := make([]int, 0, soakStreams)
+		for i := range registered {
+			regList = append(regList, i)
+		}
+		sort.Ints(regList)
+		liveQs := make([]int, 0, len(queries))
+		for qi, q := range queries {
+			if live[qi] && q.handle != nil {
+				liveQs = append(liveQs, qi)
+			}
+		}
+		switch k := r.IntN(20); {
+		case k < 2: // register (fresh or revival)
+			var cands []int
+			for i := 0; i < soakStreams; i++ {
+				if !registered[i] {
+					cands = append(cands, i)
+				}
+			}
+			if len(cands) == 0 {
+				continue
+			}
+			i := cands[r.IntN(len(cands))]
+			if err := churn.m.RegisterStream(defOf(i)); err != nil {
+				t.Fatalf("seed %d op %d: RegisterStream(%d): %v", seed, op, i, err)
+			}
+			registered[i] = true
+			seen := false
+			for _, e := range everRegistered {
+				if e == i {
+					seen = true
+				}
+			}
+			if !seen {
+				everRegistered = append(everRegistered, i)
+			}
+		case k < 4: // unregister
+			if len(regList) <= 1 {
+				continue // keep at least one stream live
+			}
+			i := regList[r.IntN(len(regList))]
+			if err := churn.m.UnregisterStream(soakStreamName(i)); err != nil {
+				t.Fatalf("seed %d op %d: UnregisterStream(%d): %v", seed, op, i, err)
+			}
+			delete(registered, i)
+		case k < 8: // submit
+			if len(queries) >= 24 {
+				continue
+			}
+			strm := everRegistered[r.IntN(len(everRegistered))]
+			thr := float64(r.IntN(80))
+			q := &soakQuery{
+				idx: len(queries),
+				cql: fmt.Sprintf(`SELECT * FROM %s [Now] WHERE v > %g`,
+					soakStreamName(strm), thr),
+				proxy: processors[r.IntN(len(processors))],
+			}
+			var log []string
+			churn.logs = append(churn.logs, &log)
+			churn.submit(t, q)
+			live[q.idx] = true
+			queries = append(queries, q)
+		case k < 11: // cancel
+			if len(liveQs) == 0 {
+				continue
+			}
+			qi := liveQs[r.IntN(len(liveQs))]
+			if err := queries[qi].handle.Cancel(); err != nil {
+				t.Fatalf("seed %d op %d: Cancel(%s): %v", seed, op, queries[qi].handle.Name, err)
+			}
+			delete(live, qi)
+		case k < 12: // adapt
+			if len(liveQs) == 0 {
+				continue
+			}
+			if _, err := churn.m.Adapt(); err != nil {
+				t.Fatalf("seed %d op %d: Adapt: %v", seed, op, err)
+			}
+		default: // publish
+			if len(regList) == 0 {
+				continue
+			}
+			i := regList[r.IntN(len(regList))]
+			ts++
+			tup := Tuple{
+				Stream:    soakStreamName(i),
+				Timestamp: ts,
+				Attrs:     map[string]stream.Value{"v": stream.FloatVal(float64(r.IntN(100)))},
+			}
+			if err := churn.m.Publish(tup); err != nil {
+				t.Fatalf("seed %d op %d: Publish: %v", seed, op, err)
+			}
+		}
+	}
+
+	// Reference rebuild: register every stream the churned registry knows
+	// (original order), submit the surviving queries (original order),
+	// start, then withdraw the streams that did not survive — landing in
+	// the same logical end state with none of the churn history.
+	ref := &soakHarness{m: newMW()}
+	for _, i := range everRegistered {
+		if err := ref.m.RegisterStream(defOf(i)); err != nil {
+			t.Fatalf("reference RegisterStream: %v", err)
+		}
+	}
+	refQueries := make(map[int]*soakQuery)
+	for qi, q := range queries {
+		var log []string
+		for len(ref.logs) <= q.idx {
+			ref.logs = append(ref.logs, nil)
+		}
+		ref.logs[q.idx] = &log
+		if live[qi] {
+			rq := &soakQuery{idx: q.idx, cql: q.cql, proxy: q.proxy}
+			refQueries[qi] = rq
+			ref.submit(t, rq)
+		}
+	}
+	if err := ref.m.Start(); err != nil {
+		t.Fatalf("reference Start: %v", err)
+	}
+	for _, i := range everRegistered {
+		if !registered[i] {
+			if err := ref.m.UnregisterStream(soakStreamName(i)); err != nil {
+				t.Fatalf("reference UnregisterStream: %v", err)
+			}
+		}
+	}
+
+	// Identical probe workload on both; per-query deliveries must match
+	// exactly (the churned middleware's surviving state is operationally
+	// indistinguishable from the rebuilt one).
+	marks := make([]int, len(churn.logs))
+	for i, log := range churn.logs {
+		marks[i] = len(*log)
+	}
+	regList := make([]int, 0, len(registered))
+	for i := range registered {
+		regList = append(regList, i)
+	}
+	sort.Ints(regList)
+	for p := 0; p < 60; p++ {
+		i := regList[r.IntN(len(regList))]
+		ts++
+		mk := func() Tuple {
+			return Tuple{
+				Stream:    soakStreamName(i),
+				Timestamp: ts,
+				Attrs:     map[string]stream.Value{"v": stream.FloatVal(float64((p * 13) % 100))},
+			}
+		}
+		if err := churn.m.Publish(mk()); err != nil {
+			t.Fatalf("probe Publish (churned): %v", err)
+		}
+		if err := ref.m.Publish(mk()); err != nil {
+			t.Fatalf("probe Publish (reference): %v", err)
+		}
+	}
+	for qi, q := range queries {
+		if !live[qi] {
+			continue
+		}
+		got := (*churn.logs[q.idx])[marks[q.idx]:]
+		want := *ref.logs[q.idx]
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: probe deliveries of query %d diverge from rebuilt middleware\nchurned:   %v\nreference: %v",
+				seed, q.idx, got, want)
+		}
+	}
+
+	// Full teardown, then drain-to-empty on brokers AND coordinator tree.
+	for qi, q := range queries {
+		if live[qi] {
+			if err := q.handle.Cancel(); err != nil {
+				t.Fatalf("teardown Cancel: %v", err)
+			}
+		}
+	}
+	for _, i := range regList {
+		if err := churn.m.UnregisterStream(soakStreamName(i)); err != nil {
+			t.Fatalf("teardown UnregisterStream: %v", err)
+		}
+	}
+	// Processors still advertise their (now unsubscribed) result streams;
+	// withdraw those too so the advert tables can drain.
+	for _, p := range processors {
+		churn.m.net.RemoveStream(p, resultStreamName(p))
+	}
+	if residual := churn.m.net.ResidualState(); len(residual) != 0 {
+		t.Fatalf("seed %d: broker state not drained after teardown:\n  %s",
+			seed, strings.Join(residual, "\n  "))
+	}
+	q, v, load := churn.m.tree.Residual()
+	if q != 0 || v != 0 || load != 0 {
+		t.Fatalf("seed %d: coordinator tree residual after teardown: queries=%d vertices=%d load=%v, want 0/0/0",
+			seed, q, v, load)
+	}
+}
+
+// TestChurnSoak is the randomized register/submit/publish/cancel/unregister
+// soak. Quick form by default (PR CI); COSMOS_SOAK_LONG=1 raises seeds and
+// op count (the nightly -race form); COSMOS_SOAK_SEED pins one seed for
+// reproduction.
+func TestChurnSoak(t *testing.T) {
+	seeds := []uint64{1, 2, 3}
+	nOps := 150
+	if os.Getenv("COSMOS_SOAK_LONG") != "" {
+		seeds = seeds[:0]
+		for s := uint64(1); s <= 12; s++ {
+			seeds = append(seeds, s)
+		}
+		nOps = 900
+	}
+	if v := os.Getenv("COSMOS_SOAK_SEED"); v != "" {
+		s, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			t.Fatalf("bad COSMOS_SOAK_SEED %q: %v", v, err)
+		}
+		seeds = []uint64{s}
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runSoak(t, seed, nOps)
+		})
+	}
+}
