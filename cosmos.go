@@ -124,6 +124,10 @@ type Middleware struct {
 	// interest bits until a future full redistribution.
 	optDim int
 
+	// crashed tracks source brokers removed by CrashBroker and not yet
+	// rejoined; streams they publish are unreachable meanwhile.
+	crashed map[NodeID]bool
+
 	// inSubs tracks each processor's active input-subscription IDs.
 	inSubs map[NodeID][]string
 	// residuals maps query name -> how to split its result from the
@@ -156,6 +160,7 @@ func New(g *topology.Graph, processors []NodeID, cfg Config) (*Middleware, error
 		defs:     make(map[string]StreamDef),
 		engines:  make(map[NodeID]*engine.Engine),
 		handles:  make(map[string]*QueryHandle),
+		crashed:  make(map[NodeID]bool),
 	}, nil
 }
 
@@ -176,6 +181,9 @@ func (m *Middleware) RegisterStream(def StreamDef) error {
 	defer m.mu.Unlock()
 	if _, live := m.defs[def.Name]; live {
 		return fmt.Errorf("cosmos: stream %q already registered", def.Name)
+	}
+	if m.started && m.crashed[def.Source] {
+		return fmt.Errorf("cosmos: source broker %d is crashed (rejoin it first)", def.Source)
 	}
 	if prev, ok := m.registry.Lookup(def.Name); ok {
 		// Reviving a previously unregistered stream: its substream slots
@@ -545,12 +553,16 @@ func (m *Middleware) Publish(t Tuple) error {
 	m.mu.Lock()
 	def, ok := m.defs[t.Stream]
 	net := m.net
+	down := ok && m.crashed[def.Source]
 	m.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("cosmos: unknown stream %q", t.Stream)
 	}
 	if net == nil {
 		return fmt.Errorf("cosmos: not started")
+	}
+	if down {
+		return fmt.Errorf("cosmos: stream %q source broker %d is crashed", t.Stream, def.Source)
 	}
 	if t.Size == 0 {
 		t.Size = def.AvgTupleBytes
@@ -600,6 +612,62 @@ func (m *Middleware) Adapt() (migrations int, err error) {
 		}
 	}
 	return rep.Migrations, nil
+}
+
+// CrashBroker simulates the ungraceful failure of a source broker: the
+// broker vanishes without unadvertising or retracting anything. Its former
+// neighbors detach the dead link — withdrawing every advert and
+// subscription record learned through it, exactly as if the withdrawals had
+// been sent — and the overlay re-attaches around the gap
+// (pubsub.Network.RemoveBroker). Streams published at the crashed broker
+// become unreachable (Publish errors, RegisterStream at that source is
+// refused) until RejoinBroker. Crashing a processor node is refused:
+// processor failure would orphan engine state and query placements, whose
+// recovery is a separate concern (see ROADMAP).
+func (m *Middleware) CrashBroker(n NodeID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.started {
+		return fmt.Errorf("cosmos: not started")
+	}
+	if m.isProcessor(n) {
+		return fmt.Errorf("cosmos: broker %d hosts a processor (processor crash recovery is not supported)", n)
+	}
+	if m.crashed[n] {
+		return fmt.Errorf("cosmos: broker %d already crashed", n)
+	}
+	if !m.net.RemoveBroker(n) {
+		return fmt.Errorf("cosmos: no broker at node %d", n)
+	}
+	m.crashed[n] = true
+	return nil
+}
+
+// RejoinBroker brings a crashed source broker back: a fresh broker attaches
+// to the live overlay (its attach link resyncs the surviving advert state
+// and replays waiting subscriptions — pubsub.Network.AddBroker) and every
+// stream still registered at that source re-advertises under a new epoch,
+// re-propagating existing subscriptions toward the publisher. The healed
+// overlay is state-equivalent to one where the broker never crashed.
+func (m *Middleware) RejoinBroker(n NodeID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.crashed[n] {
+		return fmt.Errorf("cosmos: broker %d is not crashed", n)
+	}
+	delete(m.crashed, n)
+	b := m.net.AddBroker(n)
+	names := make([]string, 0, 2)
+	for name, def := range m.defs {
+		if def.Source == n {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b.Advertise(name)
+	}
+	return nil
 }
 
 // Traffic returns the Pub/Sub substrate's traffic report.

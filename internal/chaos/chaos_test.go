@@ -1,0 +1,233 @@
+package chaos_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/pubsub"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// lineNet builds the canonical 0-1-2-3 line overlay used across the pubsub
+// suites (edge i-(i+1) has latency i+1).
+func lineNet(t *testing.T) *pubsub.Network {
+	t.Helper()
+	g := topology.NewGraph(4)
+	for i := 0; i < 3; i++ {
+		if err := g.AddEdge(topology.NodeID(i), topology.NodeID(i+1), float64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net, err := pubsub.NewNetwork(topology.NewOracle(g), []topology.NodeID{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func tup(streamName string, v float64) stream.Tuple {
+	return stream.Tuple{
+		Stream: streamName,
+		Attrs:  map[string]stream.Value{"a": stream.FloatVal(v)},
+		Size:   24,
+	}
+}
+
+// driveOps runs a fixed control+data script against a network and returns
+// the per-subscriber delivery counts. Flush (nil for fault-free runs) is
+// called after every control burst so delayed control messages land before
+// the probes that depend on them.
+func driveOps(t *testing.T, net *pubsub.Network, flush func()) map[string]int {
+	t.Helper()
+	if flush == nil {
+		flush = func() {}
+	}
+	hits := make(map[string]int)
+	sub := func(n topology.NodeID, id string, streams ...string) {
+		b, _ := net.Broker(n)
+		if err := b.Subscribe(&pubsub.Subscription{ID: id, Streams: streams},
+			func(*pubsub.Subscription, stream.Tuple) { hits[id]++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b0, _ := net.Broker(0)
+	b1, _ := net.Broker(1)
+	b3, _ := net.Broker(3)
+
+	b0.Advertise("R")
+	b1.Advertise("S")
+	sub(3, "s3", "R")
+	sub(2, "s2", "R", "S")
+	flush()
+	b0.Publish(tup("R", 1))
+	b1.Publish(tup("S", 2))
+
+	b3.Unsubscribe("s3")
+	sub(0, "s0", "S")
+	flush()
+	b0.Publish(tup("R", 3))
+	b1.Publish(tup("S", 4))
+
+	b2, _ := net.Broker(2)
+	b2.Unsubscribe("s2")
+	b0.Unsubscribe("s0")
+	b0.Unadvertise("R")
+	b1.Unadvertise("S")
+	flush()
+	return hits
+}
+
+// TestChaosDeterminism: the same seed over the same event sequence yields
+// the same fault schedule; a different seed yields a different one.
+func TestChaosDeterminism(t *testing.T) {
+	run := func(seed uint64) chaos.Stats {
+		net := lineNet(t)
+		f := chaos.New(chaos.Config{Seed: seed, Drop: 0.1, Dup: 0.2, Delay: 0.2, MaxHold: 3})
+		net.SetPeerWrapper(f)
+		driveOps(t, net, f.Flush)
+		return f.Stats()
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	if a.Dropped+a.Duplicated+a.Delayed == 0 {
+		t.Fatalf("schedule injected no faults: %+v", a)
+	}
+	if c := run(43); c == a {
+		t.Fatalf("different seed produced identical schedule: %+v", c)
+	}
+}
+
+// TestChaosControlFaultEquivalence: duplication and reordering of control
+// messages must be invisible — the faulted overlay delivers the same tuples
+// and holds the same routing state as a fault-free run, and drains to empty
+// after teardown (tombstones swept by Quiesce). This is the idempotence
+// claim of the epoch machinery under an adversarial link.
+func TestChaosControlFaultEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			clean := driveOps(t, lineNet(t), nil)
+
+			net := lineNet(t)
+			f := chaos.New(chaos.Config{Seed: seed, Dup: 0.25, Delay: 0.25, MaxHold: 4})
+			net.SetPeerWrapper(f)
+			faulted := driveOps(t, net, f.Flush)
+
+			if len(faulted) != len(clean) {
+				t.Fatalf("delivery map mismatch: faulted %v, clean %v", faulted, clean)
+			}
+			for id, want := range clean {
+				if faulted[id] != want {
+					t.Errorf("subscriber %s: %d deliveries under faults, %d clean", id, faulted[id], want)
+				}
+			}
+			net.Quiesce()
+			if residual := net.ResidualState(); len(residual) != 0 {
+				t.Fatalf("faulted overlay did not drain:\n%v", residual)
+			}
+		})
+	}
+}
+
+// TestChaosPartitionThenRepair: a partition window silently eats control
+// traffic; the overlay reconverges only after the loss is repaired through
+// the teardown+resync path (FailLink + re-attach) with the injector paused.
+func TestChaosPartitionThenRepair(t *testing.T) {
+	net := lineNet(t)
+	f := chaos.New(chaos.Config{Seed: 7, Kinds: chaos.AllKinds()})
+	net.SetPeerWrapper(f)
+
+	src, _ := net.Broker(0)
+	dst, _ := net.Broker(3)
+	src.Advertise("R")
+	hits := 0
+	f.PartitionLink(1, 2)
+	// Subscription issued during the window: its propagation dies at the
+	// cut and the publisher never learns of it.
+	if err := dst.Subscribe(&pubsub.Subscription{ID: "s", Streams: []string{"R"}},
+		func(*pubsub.Subscription, stream.Tuple) { hits++ }); err != nil {
+		t.Fatal(err)
+	}
+	src.Publish(tup("R", 1))
+	if hits != 0 {
+		t.Fatalf("delivery crossed a partitioned link: %d", hits)
+	}
+	if s := f.Stats(); s.Blackholed == 0 {
+		t.Fatalf("partition window blackholed nothing: %+v", s)
+	}
+
+	// Repair: pause the injector, declare the link failed (teardown +
+	// deterministic re-attach re-adds 1-2, the cheapest cross pair, and
+	// resyncs), heal the partition, resume.
+	f.Pause()
+	if !net.FailLink(1, 2) {
+		t.Fatal("FailLink(1,2) found no link")
+	}
+	f.HealLink(1, 2)
+	f.Resume()
+
+	src.Publish(tup("R", 2))
+	if hits != 1 {
+		t.Fatalf("deliveries after repair = %d, want 1", hits)
+	}
+	dst.Unsubscribe("s")
+	src.Unadvertise("R")
+	f.Pause()
+	net.Quiesce()
+	if residual := net.ResidualState(); len(residual) != 0 {
+		t.Fatalf("repaired overlay did not drain:\n%v", residual)
+	}
+}
+
+// TestChaosCrashThenRejoin: a crash window blackholes every incident link;
+// recovery removes the broker (survivors detach and re-attach around it),
+// heals, and rejoins it via AddBroker's advert resync.
+func TestChaosCrashThenRejoin(t *testing.T) {
+	net := lineNet(t)
+	f := chaos.New(chaos.Config{Seed: 11, Kinds: chaos.AllKinds()})
+	net.SetPeerWrapper(f)
+
+	src, _ := net.Broker(0)
+	dst, _ := net.Broker(3)
+	src.Advertise("R")
+	hits := 0
+	if err := dst.Subscribe(&pubsub.Subscription{ID: "s", Streams: []string{"R"}},
+		func(*pubsub.Subscription, stream.Tuple) { hits++ }); err != nil {
+		t.Fatal(err)
+	}
+
+	f.Crash(1)
+	src.Publish(tup("R", 1)) // dies at the crashed relay
+	if hits != 0 {
+		t.Fatalf("delivery crossed a crashed broker: %d", hits)
+	}
+
+	f.Pause()
+	net.RemoveBroker(1)
+	f.Resume()
+	src.Publish(tup("R", 2)) // routed around the gap (0-2 repair link)
+	if hits != 1 {
+		t.Fatalf("deliveries after crash repair = %d, want 1", hits)
+	}
+
+	f.Pause()
+	f.Heal(1)
+	net.AddBroker(1)
+	f.Resume()
+	src.Publish(tup("R", 3))
+	if hits != 2 {
+		t.Fatalf("deliveries after rejoin = %d, want 2", hits)
+	}
+
+	dst.Unsubscribe("s")
+	src.Unadvertise("R")
+	f.Pause()
+	net.Quiesce()
+	if residual := net.ResidualState(); len(residual) != 0 {
+		t.Fatalf("rejoined overlay did not drain:\n%v", residual)
+	}
+}

@@ -267,20 +267,35 @@ func (b *Broker) Unadvertise(streamName string) {
 
 func (b *Broker) advertFrom(from topology.NodeID, streamName string, origin topology.NodeID, seq uint64) {
 	b.mu.Lock()
+	if !b.neighborLocked(from) {
+		// A message from a direction that is not (or no longer) an overlay
+		// neighbor: the link was torn down after this advert was sent.
+		// Recording it would create per-direction state no withdrawal can
+		// ever reach — drop it. A rejoining broker resyncs with fresh
+		// floods over its new link.
+		b.mu.Unlock()
+		return
+	}
 	key := advKey{stream: streamName, origin: origin}
 	if tombs := b.unadvTomb[from]; tombs != nil {
 		if ts, ok := tombs[key]; ok {
-			// Either way the tombstone is consumed: the withdrawal that
-			// overtook this advert annihilates it (neither flood is
-			// forwarded — downstream saw neither), while a newer advert
-			// epoch supersedes the stale tombstone.
+			if seq <= ts {
+				// The withdrawal that overtook this advert annihilates it
+				// (neither flood is forwarded — downstream saw neither).
+				// The tombstone is KEPT, not consumed: on a link that can
+				// duplicate (chaos, retransmitting transports) another
+				// stale copy may still be in flight, and consuming the
+				// tombstone on the first one would let the second
+				// resurrect the withdrawn stream. Only a genuinely newer
+				// epoch clears it; a quiesced overlay can drop stragglers
+				// wholesale (Network.Quiesce).
+				b.mu.Unlock()
+				return
+			}
+			// Newer advert epoch: supersedes the stale tombstone.
 			delete(tombs, key)
 			if len(tombs) == 0 {
 				delete(b.unadvTomb, from)
-			}
-			if seq <= ts {
-				b.mu.Unlock()
-				return
 			}
 		}
 	}
@@ -336,6 +351,10 @@ func (b *Broker) advertFrom(from topology.NodeID, streamName string, origin topo
 // the recorded epoch is a stale no-op.
 func (b *Broker) unadvertFrom(from topology.NodeID, streamName string, origin topology.NodeID, seq uint64) {
 	b.mu.Lock()
+	if !b.neighborLocked(from) {
+		b.mu.Unlock()
+		return // dead-link straggler (see advertFrom)
+	}
 	set := b.adverts[from]
 	origins := set[streamName]
 	cur, ok := origins[origin]
@@ -674,6 +693,10 @@ func (b *Broker) Unsubscribe(id string) {
 // the recorded epoch (seq) is a no-op.
 func (b *Broker) retractFrom(from topology.NodeID, id string, seq uint64) {
 	b.mu.Lock()
+	if !b.neighborLocked(from) {
+		b.mu.Unlock()
+		return // dead-link straggler (see advertFrom)
+	}
 	d := b.idx.dir(from)
 	rec := d.find(id)
 	if rec == nil {
@@ -831,6 +854,10 @@ func (b *Broker) propagate(sub *Subscription, from topology.NodeID) {
 		return
 	}
 	b.mu.Lock()
+	if from >= 0 && !b.neighborLocked(from) {
+		b.mu.Unlock()
+		return // dead-link straggler (see advertFrom)
+	}
 	var rec *compiledSub
 	// State released by a superseded older epoch of the same ID, to
 	// un-suppress after the fresh record has made its own propagation
@@ -842,16 +869,19 @@ func (b *Broker) propagate(sub *Subscription, from topology.NodeID) {
 	if from >= 0 {
 		d := b.idx.dir(from)
 		if ts, ok := d.retracted[sub.ID]; ok {
-			// Either way the tombstone is consumed: each (link,
-			// epoch) is propagated exactly once (sentTo is marked
-			// under the sender's lock before sending), so the
-			// suppressed arrival is the one it was waiting for, and
-			// a newer epoch supersedes it.
-			delete(d.retracted, sub.ID)
 			if sub.Seq <= ts {
+				// The retraction overtook this propagation: obey it. The
+				// tombstone is KEPT, not consumed — on a link that can
+				// duplicate, a second stale copy may still be in flight,
+				// and consuming the tombstone here would let that copy
+				// install a record no retraction will ever chase. Only a
+				// newer epoch of the ID clears it; a quiesced overlay
+				// drops stragglers wholesale (Network.Quiesce).
 				b.mu.Unlock()
-				return // retraction overtook this propagation: obey it
+				return
 			}
+			// Newer epoch of the ID: supersedes the tombstone.
+			delete(d.retracted, sub.ID)
 		}
 		if prev := d.find(sub.ID); prev != nil {
 			if sub.Seq <= prev.seq {
@@ -1038,6 +1068,14 @@ func (b *Broker) route(t stream.Tuple, from topology.NodeID) {
 	bufs := routeBufPool.Get().(*routeBufs)
 	locals, hops := bufs.locals[:0], bufs.hops[:0]
 	b.mu.Lock()
+	if from >= 0 && !b.neighborLocked(from) {
+		// Data from a torn-down link: no routing state references the
+		// direction anymore, so the tuple is dropped (at-most-once data
+		// delivery; the repaired overlay routes fresh traffic).
+		b.mu.Unlock()
+		routeBufPool.Put(bufs)
+		return
+	}
 	if b.linearMatch {
 		locals, hops = b.matchLinear(t, from, locals, hops)
 	} else {
@@ -1257,6 +1295,120 @@ func (b *Broker) AddNeighbor(n topology.NodeID) {
 		}
 	}
 	b.neighbors = append(b.neighbors, n)
+}
+
+// neighborLocked reports whether n is a current overlay neighbor. Caller
+// holds b.mu. Degrees are small (tree overlay), so a linear scan beats a set.
+func (b *Broker) neighborLocked(n topology.NodeID) bool {
+	for _, x := range b.neighbors {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}
+
+// DetachNeighbor severs this broker's side of the overlay link to 'gone'
+// (broker crash or link failure) and prunes everything learned through it,
+// reusing the graceful-teardown machinery so the surviving overlay ends in
+// exactly the state a clean withdrawal would have produced:
+//
+//  1. every advertisement recorded from the link is withdrawn at its
+//     recorded epoch, in sorted (stream, origin) order — the withdrawal
+//     floods onward through the surviving component and the mirror rules
+//     (pruneAdvertLocked) clear the propagation marks toward the dead link
+//     and the records it alone justified;
+//  2. every subscription recorded from the link is retracted at its
+//     recorded epoch, in registration order — retractions follow the
+//     records' own sentTo edges, and covered subscriptions un-suppress;
+//  3. the neighbor entry, its withdrawal tombstones and its (now empty)
+//     direction index are dropped.
+//
+// Mid-teardown re-propagations toward the dead direction are legal (step 1
+// may transiently re-decide toward it while some of its streams are still
+// advertised); they land on the removed broker's null peer — or on the live
+// far endpoint, which cleans them when its own DetachNeighbor runs — and the
+// marks they set are cleared by the time step 1 finishes (each record's last
+// withdrawn stream sweeps it). The steps run with 'gone' still a neighbor;
+// once it is removed, the non-neighbor guards on the protocol entry points
+// drop any straggler the dead link still delivers.
+func (b *Broker) DetachNeighbor(gone topology.NodeID) {
+	b.mu.Lock()
+	if !b.neighborLocked(gone) {
+		b.mu.Unlock()
+		return
+	}
+	type withdrawal struct {
+		key advKey
+		seq uint64
+	}
+	var withdrawals []withdrawal
+	for s, origins := range b.adverts[gone] {
+		for o, seq := range origins {
+			withdrawals = append(withdrawals, withdrawal{advKey{stream: s, origin: o}, seq})
+		}
+	}
+	sort.Slice(withdrawals, func(i, j int) bool {
+		if withdrawals[i].key.stream != withdrawals[j].key.stream {
+			return withdrawals[i].key.stream < withdrawals[j].key.stream
+		}
+		return withdrawals[i].key.origin < withdrawals[j].key.origin
+	})
+	b.mu.Unlock()
+	for _, w := range withdrawals {
+		b.unadvertFrom(gone, w.key.stream, w.key.origin, w.seq)
+	}
+
+	// Retract the direction's records until none remain: processing above
+	// can synchronously trigger the live far endpoint into sending fresh
+	// propagations over the dying link (its pruning re-decides coverings
+	// toward us), so one snapshot is not enough. Arrivals stop once step 1's
+	// cascades have returned, so the loop settles in practice on the second
+	// pass.
+	for {
+		type retraction struct {
+			id  string
+			seq uint64
+		}
+		var retractions []retraction
+		b.mu.Lock()
+		if d, ok := b.idx.dirs[gone]; ok {
+			for _, c := range d.subs {
+				retractions = append(retractions, retraction{c.sub.ID, c.seq})
+			}
+		}
+		b.mu.Unlock()
+		if len(retractions) == 0 {
+			break
+		}
+		for _, r := range retractions {
+			b.retractFrom(gone, r.id, r.seq)
+		}
+	}
+
+	b.mu.Lock()
+	for i, x := range b.neighbors {
+		if x == gone {
+			b.neighbors = append(b.neighbors[:i], b.neighbors[i+1:]...)
+			break
+		}
+	}
+	delete(b.unadvTomb, gone)
+	b.idx.dropDir(gone)
+	b.mu.Unlock()
+}
+
+// clearTombstones drops every reorder tombstone (unadvert and retraction)
+// this broker holds. Only sound when no protocol message is in flight — see
+// Network.Quiesce.
+func (b *Broker) clearTombstones() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	clear(b.unadvTomb)
+	clear(b.idx.locals.retracted)
+	for _, d := range b.idx.dirs {
+		clear(d.retracted)
+	}
 }
 
 // Neighbors returns the broker's overlay neighbors sorted by node ID.

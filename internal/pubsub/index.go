@@ -68,6 +68,23 @@ func (m *matchIndex) dir(n topology.NodeID) *dirIndex {
 	return d
 }
 
+// dropDir deletes a direction's index wholesale. Only DetachNeighbor calls
+// it, after retracting every record the direction held — what remains is at
+// most the empty container maps and reorder tombstones, which die with the
+// link (no message can ever arrive from the direction again).
+func (m *matchIndex) dropDir(n topology.NodeID) {
+	if _, ok := m.dirs[n]; !ok {
+		return
+	}
+	delete(m.dirs, n)
+	for i, x := range m.dirOrder {
+		if x == n {
+			m.dirOrder = append(m.dirOrder[:i], m.dirOrder[i+1:]...)
+			break
+		}
+	}
+}
+
 // dirIndex indexes the subscriptions of one direction (a neighbor, or the
 // broker's locals).
 type dirIndex struct {

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/stream"
 	"repro/internal/topology"
 )
 
@@ -27,6 +28,17 @@ type Network struct {
 	// traffic in bytes per overlay link.
 	data    map[[2]topology.NodeID]float64
 	control map[[2]topology.NodeID]float64
+	// wrap, when set, intercepts every Peer endpoint handed to brokers —
+	// the fault-injection seam (see SetPeerWrapper).
+	wrap PeerWrapper
+}
+
+// PeerWrapper intercepts the Peer endpoints the network hands to its
+// brokers, one wrapped Peer per destination. The chaos fabric implements it
+// to inject per-link faults without the routing logic knowing; the identity
+// wrapper (or none) leaves the overlay loss-free.
+type PeerWrapper interface {
+	WrapPeer(to topology.NodeID, p Peer) Peer
 }
 
 // NewNetwork builds the broker overlay over the given nodes.
@@ -143,6 +155,165 @@ func (net *Network) AddBroker(n topology.NodeID) *Broker {
 	return b
 }
 
+// RemoveBroker removes a broker from a running overlay ungracefully — the
+// crash-failure symmetric of AddBroker. The dead broker gets no goodbye
+// protocol: it is deleted from the overlay first (its Peer becomes a null
+// endpoint), then every former neighbor detaches its side of the dead link
+// (DetachNeighbor — withdrawing the adverts and retracting the subscriptions
+// learned through it, with the withdrawal and retraction floods repairing
+// the survivors' state around the gap), and finally the orphaned components
+// the removal split the tree into are re-attached deterministically
+// (reattachComponents), each new link resyncing advert state in both
+// directions so subscribe-before-advertise replay rebuilds the routing
+// paths. Returns false when no broker lives at n.
+func (net *Network) RemoveBroker(n topology.NodeID) bool {
+	net.mu.Lock()
+	if _, ok := net.brokers[n]; !ok {
+		net.mu.Unlock()
+		return false
+	}
+	delete(net.brokers, n)
+	var former []*Broker
+	for link := range net.links {
+		var other topology.NodeID = -1
+		if link[0] == n {
+			other = link[1]
+		} else if link[1] == n {
+			other = link[0]
+		}
+		if other < 0 {
+			continue
+		}
+		delete(net.links, link)
+		if m, ok := net.brokers[other]; ok {
+			former = append(former, m)
+		}
+	}
+	sort.Slice(former, func(i, j int) bool { return former[i].Node < former[j].Node })
+	net.mu.Unlock()
+	for _, m := range former {
+		m.DetachNeighbor(n)
+	}
+	net.reattachComponents()
+	return true
+}
+
+// FailLink tears one overlay link down ungracefully: both endpoints detach
+// their side (withdrawing and retracting what they learned through it), then
+// the two components are re-attached by the cheapest surviving latency —
+// possibly the very same link, which makes FailLink(a,b) a full link flap
+// with teardown and resync. Returns false when a-b is not an overlay link.
+func (net *Network) FailLink(a, b topology.NodeID) bool {
+	net.mu.Lock()
+	if _, ok := net.links[orderPair(a, b)]; !ok {
+		net.mu.Unlock()
+		return false
+	}
+	delete(net.links, orderPair(a, b))
+	if a > b {
+		a, b = b, a
+	}
+	ba, bb := net.brokers[a], net.brokers[b]
+	net.mu.Unlock()
+	// Detach in ascending endpoint order. The first detach may synchronously
+	// push strays over the dying link into the second endpoint; the second
+	// detach cleans them, and its own strays are dropped by the first
+	// endpoint's non-neighbor guards.
+	ba.DetachNeighbor(b)
+	bb.DetachNeighbor(a)
+	net.reattachComponents()
+	return true
+}
+
+// reattachComponents restores overlay connectivity after a removal split the
+// tree: while more than one connected component remains, the cheapest
+// cross-component link (by oracle latency, ties broken on ascending endpoint
+// IDs) between the component holding the smallest node and the rest is
+// added, and the new link's endpoints resync advert state in both directions
+// — the same join protocol AddBroker uses, so subscriptions re-propagate
+// into the re-attached subtree exactly as they would toward a fresh advert.
+func (net *Network) reattachComponents() {
+	for {
+		net.mu.Lock()
+		nodes := make([]topology.NodeID, 0, len(net.brokers))
+		for id := range net.brokers {
+			nodes = append(nodes, id)
+		}
+		if len(nodes) < 2 {
+			net.mu.Unlock()
+			return
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		adj := make(map[topology.NodeID][]topology.NodeID, len(nodes))
+		for link := range net.links {
+			adj[link[0]] = append(adj[link[0]], link[1])
+			adj[link[1]] = append(adj[link[1]], link[0])
+		}
+		connected := map[topology.NodeID]bool{nodes[0]: true}
+		frontier := []topology.NodeID{nodes[0]}
+		for len(frontier) > 0 {
+			x := frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			for _, y := range adj[x] {
+				if !connected[y] {
+					connected[y] = true
+					frontier = append(frontier, y)
+				}
+			}
+		}
+		if len(connected) == len(nodes) {
+			net.mu.Unlock()
+			return
+		}
+		var bestX, bestY topology.NodeID = -1, -1
+		best := math.Inf(1)
+		for _, x := range nodes {
+			if !connected[x] {
+				continue
+			}
+			for _, y := range nodes {
+				if connected[y] {
+					continue
+				}
+				d := net.oracle.Latency(x, y)
+				if d < best || (d == best && (x < bestX || (x == bestX && y < bestY))) {
+					best, bestX, bestY = d, x, y
+				}
+			}
+		}
+		net.addLink(bestX, bestY, best)
+		bx, by := net.brokers[bestX], net.brokers[bestY]
+		net.mu.Unlock()
+		// Both directions resync: each side announces the adverts of its own
+		// component over the new link (syncAdvertsTo skips what it learned
+		// FROM the link), and the arriving floods trigger posting-list
+		// replay at every broker that holds matching subscriptions.
+		bx.syncAdvertsTo(bestY)
+		by.syncAdvertsTo(bestX)
+	}
+}
+
+// Links returns the current overlay links in sorted order.
+func (net *Network) Links() [][2]topology.NodeID {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	return sortedLinks(net.links)
+}
+
+// Quiesce drops every reorder tombstone (unadvert and retraction) in the
+// overlay. Tombstones exist to absorb duplicated or reordered stragglers on
+// a link; on a link that can duplicate they cannot be consumed by the
+// messages they suppress (another stale copy may follow), so they drain only
+// here. Calling Quiesce is sound exactly when no protocol message is in
+// flight — after the fault fabric has flushed and paused — which is the
+// failure-detector/GC epoch boundary a production deployment would provide.
+func (net *Network) Quiesce() {
+	for _, n := range net.Nodes() {
+		b, _ := net.Broker(n)
+		b.clearTombstones()
+	}
+}
+
 // RemoveStream withdraws a stream advertised at the given source broker:
 // the advert withdrawal floods along the advert paths and every broker
 // prunes the advert entry plus the routing state it justified (see
@@ -210,13 +381,47 @@ func (net *Network) ResidualState() []string {
 	return out
 }
 
+// nullPeer is the Peer of a node with no broker: every message into it is
+// dropped. RemoveBroker deletes the broker from the overlay before its
+// neighbors detach, so transient re-propagations decided mid-teardown land
+// here instead of dereferencing a nil broker.
+type nullPeer struct{}
+
+func (nullPeer) AdvertFrom(topology.NodeID, string, topology.NodeID, uint64)   {}
+func (nullPeer) UnadvertFrom(topology.NodeID, string, topology.NodeID, uint64) {}
+func (nullPeer) PropagateFrom(*Subscription, topology.NodeID)                  {}
+func (nullPeer) RetractFrom(topology.NodeID, string, uint64)                   {}
+func (nullPeer) RouteFrom(stream.Tuple, topology.NodeID)                       {}
+
 // Peer implements Fabric with direct in-process calls. Locked like Broker
-// (AddBroker mutates the map); the cost is in line with the per-send
-// traffic-counter locking the fabric already pays.
+// (AddBroker and RemoveBroker mutate the map); the cost is in line with the
+// per-send traffic-counter locking the fabric already pays. Unknown or
+// removed nodes resolve to a message-dropping null peer, and an installed
+// PeerWrapper (chaos) intercepts every endpoint, including null ones.
 func (net *Network) Peer(n topology.NodeID) Peer {
 	net.mu.Lock()
-	defer net.mu.Unlock()
-	return net.brokers[n]
+	b, ok := net.brokers[n]
+	w := net.wrap
+	net.mu.Unlock()
+	var p Peer
+	if ok {
+		p = b
+	} else {
+		p = nullPeer{}
+	}
+	if w != nil {
+		p = w.WrapPeer(n, p)
+	}
+	return p
+}
+
+// SetPeerWrapper installs (or, with nil, removes) the Peer interception
+// layer. Meant to be set before fault injection starts; the soak harnesses
+// install the chaos fabric right after the overlay is built.
+func (net *Network) SetPeerWrapper(w PeerWrapper) {
+	net.mu.Lock()
+	net.wrap = w
+	net.mu.Unlock()
 }
 
 func orderPair(a, b topology.NodeID) [2]topology.NodeID {

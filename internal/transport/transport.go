@@ -8,14 +8,40 @@ package transport
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/pubsub"
 	"repro/internal/query"
 	"repro/internal/stream"
 	"repro/internal/topology"
+)
+
+// Send self-healing knobs. Control-plane envelopes carry routing state the
+// overlay cannot reconstruct on its own, so a failed send is retried over a
+// fresh connection with capped exponential backoff; data tuples are
+// best-effort (the data plane promises at-most-once) and get one attempt.
+const (
+	sendAttempts   = 4
+	retryBaseDelay = 2 * time.Millisecond
+	retryMaxDelay  = 50 * time.Millisecond
+	// maxRetryBudget bounds concurrently retrying sends per node: past the
+	// budget, failures surface immediately rather than queueing sleeps
+	// behind a dead peer.
+	maxRetryBudget = 64
+)
+
+var errClosed = errors.New("transport: node closed")
+
+var (
+	cSendFailures = metrics.GetCounter("transport.send_failures")
+	cSendRetries  = metrics.GetCounter("transport.send_retries")
+	cUnknownKind  = metrics.GetCounter("transport.unknown_envelope_kind")
+	cMalformed    = metrics.GetCounter("transport.malformed_envelope")
 )
 
 // MsgKind discriminates wire envelopes.
@@ -143,6 +169,9 @@ type Node struct {
 	control map[topology.NodeID]float64
 	closed  bool
 	wg      sync.WaitGroup
+
+	retrySlots  int
+	onSendError func(peer topology.NodeID, kind MsgKind, err error)
 }
 
 type peerConn struct {
@@ -158,13 +187,14 @@ func NewNode(id topology.NodeID, addr string) (*Node, error) {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	n := &Node{
-		ID:      id,
-		ln:      ln,
-		peers:   make(map[topology.NodeID]*peerConn),
-		addrs:   make(map[topology.NodeID]string),
-		inbound: make(map[net.Conn]bool),
-		data:    make(map[topology.NodeID]float64),
-		control: make(map[topology.NodeID]float64),
+		ID:         id,
+		ln:         ln,
+		peers:      make(map[topology.NodeID]*peerConn),
+		addrs:      make(map[topology.NodeID]string),
+		inbound:    make(map[net.Conn]bool),
+		data:       make(map[topology.NodeID]float64),
+		control:    make(map[topology.NodeID]float64),
+		retrySlots: maxRetryBudget,
 	}
 	n.Broker = pubsub.NewBroker(n, id)
 	n.wg.Add(1)
@@ -245,22 +275,36 @@ func (n *Node) serve(conn net.Conn) {
 		case MsgUnadvertise:
 			n.Broker.UnadvertFrom(env.From, env.StreamName, env.Origin, env.Seq)
 		case MsgSubscribe:
-			if env.Sub != nil {
-				n.Broker.PropagateFrom(fromWire(env.Sub), env.From)
+			if env.Sub == nil {
+				cMalformed.Inc()
+				continue
 			}
+			n.Broker.PropagateFrom(fromWire(env.Sub), env.From)
 		case MsgUnsubscribe:
 			n.Broker.RetractFrom(env.From, env.SubID, env.Seq)
 		case MsgData:
-			if env.Tuple != nil {
-				n.Broker.RouteFrom(*env.Tuple, env.From)
+			if env.Tuple == nil {
+				cMalformed.Inc()
+				continue
 			}
+			n.Broker.RouteFrom(*env.Tuple, env.From)
+		default:
+			cUnknownKind.Inc()
 		}
 	}
 }
 
-// send delivers one envelope to a peer, dialing lazily.
+// send delivers one envelope to a peer, dialing lazily. A failed encode
+// leaves the gob stream (and usually the connection) broken, so the cached
+// peerConn is evicted and closed — the next send redials instead of
+// inheriting a poisoned encoder. The eviction is identity-checked under
+// n.mu: a concurrent sender may already have replaced the entry.
 func (n *Node) send(peer topology.NodeID, env Envelope) error {
 	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return fmt.Errorf("transport: node %d: %w", n.ID, errClosed)
+	}
 	pc, ok := n.peers[peer]
 	if !ok {
 		addr, known := n.addrs[peer]
@@ -279,8 +323,86 @@ func (n *Node) send(peer topology.NodeID, env Envelope) error {
 	n.mu.Unlock()
 
 	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	return pc.enc.Encode(env)
+	err := pc.enc.Encode(env)
+	pc.mu.Unlock()
+	if err != nil {
+		_ = pc.conn.Close()
+		n.mu.Lock()
+		if n.peers[peer] == pc {
+			delete(n.peers, peer)
+		}
+		n.mu.Unlock()
+		return fmt.Errorf("transport: send to peer %d: %w", peer, err)
+	}
+	return nil
+}
+
+// acquireRetrySlot claims one unit of the node's in-flight retry budget.
+func (n *Node) acquireRetrySlot() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed || n.retrySlots <= 0 {
+		return false
+	}
+	n.retrySlots--
+	return true
+}
+
+func (n *Node) releaseRetrySlot() {
+	n.mu.Lock()
+	n.retrySlots++
+	n.mu.Unlock()
+}
+
+// deliver sends one envelope with the per-kind retry policy and surfaces
+// terminal failures instead of dropping them on the floor: the failure
+// counter always moves, and the node's send-error handler (if any) is told
+// which peer and kind were lost so the layer above can repair (e.g. declare
+// the link failed and re-attach).
+func (n *Node) deliver(peer topology.NodeID, env Envelope) {
+	err := n.send(peer, env)
+	if err == nil {
+		return
+	}
+	attempts := sendAttempts
+	if env.Kind == MsgData {
+		attempts = 1 // data plane is at-most-once; never retry tuples
+	}
+	for try := 1; try < attempts && !errors.Is(err, errClosed); try++ {
+		if !n.acquireRetrySlot() {
+			break
+		}
+		cSendRetries.Inc()
+		delay := retryBaseDelay << (try - 1)
+		if delay > retryMaxDelay {
+			delay = retryMaxDelay
+		}
+		time.Sleep(delay)
+		err = n.send(peer, env)
+		n.releaseRetrySlot()
+		if err == nil {
+			return
+		}
+	}
+	if errors.Is(err, errClosed) {
+		return // teardown noise, not a lost link
+	}
+	cSendFailures.Inc()
+	n.mu.Lock()
+	h := n.onSendError
+	n.mu.Unlock()
+	if h != nil {
+		h(peer, env.Kind, err)
+	}
+}
+
+// SetSendErrorHandler installs a callback invoked whenever an envelope is
+// lost for good (all retries exhausted). The callback runs on the sending
+// goroutine; it must not call back into Node under the broker's lock.
+func (n *Node) SetSendErrorHandler(h func(peer topology.NodeID, kind MsgKind, err error)) {
+	n.mu.Lock()
+	n.onSendError = h
+	n.mu.Unlock()
 }
 
 // remotePeer adapts one neighbor to pubsub.Peer.
@@ -290,23 +412,23 @@ type remotePeer struct {
 }
 
 func (r remotePeer) AdvertFrom(from topology.NodeID, streamName string, origin topology.NodeID, seq uint64) {
-	_ = r.n.send(r.id, Envelope{Kind: MsgAdvert, From: from, StreamName: streamName, Origin: origin, Seq: seq})
+	r.n.deliver(r.id, Envelope{Kind: MsgAdvert, From: from, StreamName: streamName, Origin: origin, Seq: seq})
 }
 
 func (r remotePeer) UnadvertFrom(from topology.NodeID, streamName string, origin topology.NodeID, seq uint64) {
-	_ = r.n.send(r.id, Envelope{Kind: MsgUnadvertise, From: from, StreamName: streamName, Origin: origin, Seq: seq})
+	r.n.deliver(r.id, Envelope{Kind: MsgUnadvertise, From: from, StreamName: streamName, Origin: origin, Seq: seq})
 }
 
 func (r remotePeer) PropagateFrom(sub *pubsub.Subscription, from topology.NodeID) {
-	_ = r.n.send(r.id, Envelope{Kind: MsgSubscribe, From: from, Sub: toWire(sub)})
+	r.n.deliver(r.id, Envelope{Kind: MsgSubscribe, From: from, Sub: toWire(sub)})
 }
 
 func (r remotePeer) RetractFrom(from topology.NodeID, id string, seq uint64) {
-	_ = r.n.send(r.id, Envelope{Kind: MsgUnsubscribe, From: from, SubID: id, Seq: seq})
+	r.n.deliver(r.id, Envelope{Kind: MsgUnsubscribe, From: from, SubID: id, Seq: seq})
 }
 
 func (r remotePeer) RouteFrom(t stream.Tuple, from topology.NodeID) {
-	_ = r.n.send(r.id, Envelope{Kind: MsgData, From: from, Tuple: &t})
+	r.n.deliver(r.id, Envelope{Kind: MsgData, From: from, Tuple: &t})
 }
 
 // Peer implements pubsub.Fabric.

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/chaos"
 	"repro/internal/stream"
 )
 
@@ -80,10 +81,119 @@ func (h *soakHarness) submit(t *testing.T, q *soakQuery) {
 	q.handle = handle
 }
 
+// soakFaults is the fault-schedule state of a fault-injected soak run: the
+// chaos fabric plus the open loss windows. A crash or partition window
+// silently blackholes traffic for a few ops and then closes through the
+// repair path (CrashBroker / FailLink + re-attach) with the injector
+// paused, so every loss is followed by the teardown+resync that makes it
+// recoverable. Dup/delay faults need no windows — the epoch machinery
+// absorbs them in place.
+type soakFaults struct {
+	fab      *chaos.Fabric
+	crashWin map[NodeID]int    // source broker -> ops until crash repair
+	flapWin  map[[2]NodeID]int // overlay link -> ops until flap repair
+	downSrc  map[NodeID]bool   // crashed (repaired, not yet rejoined)
+}
+
+func hasLink(links [][2]NodeID, l [2]NodeID) bool {
+	for _, x := range links {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// tick advances every open loss window by one op and runs the repairs that
+// came due, in deterministic order.
+func (fs *soakFaults) tick(t *testing.T, m *Middleware) {
+	t.Helper()
+	for _, s := range sortedNodeKeys(fs.crashWin) {
+		fs.crashWin[s]--
+		if fs.crashWin[s] > 0 {
+			continue
+		}
+		delete(fs.crashWin, s)
+		fs.fab.Pause()
+		if err := m.CrashBroker(s); err != nil {
+			t.Fatalf("CrashBroker(%d): %v", s, err)
+		}
+		fs.fab.Resume()
+		fs.downSrc[s] = true
+	}
+	for _, l := range sortedLinkKeys(fs.flapWin) {
+		fs.flapWin[l]--
+		if fs.flapWin[l] > 0 {
+			continue
+		}
+		delete(fs.flapWin, l)
+		fs.fab.Pause()
+		// The link may have vanished through another repair's re-attach;
+		// the partition then blackholed nothing further and there is no
+		// state to tear down.
+		if hasLink(m.net.Links(), l) {
+			m.net.FailLink(l[0], l[1])
+		}
+		fs.fab.HealLink(l[0], l[1])
+		fs.fab.Resume()
+	}
+}
+
+// rejoin brings one crashed source broker back through the resync path.
+func (fs *soakFaults) rejoin(t *testing.T, m *Middleware, src NodeID) {
+	t.Helper()
+	fs.fab.Pause()
+	fs.fab.Heal(src)
+	if err := m.RejoinBroker(src); err != nil {
+		t.Fatalf("RejoinBroker(%d): %v", src, err)
+	}
+	fs.fab.Resume()
+	delete(fs.downSrc, src)
+}
+
+// settle closes every open window and rejoins every crashed broker, then
+// leaves the injector paused — the overlay must now be equivalent to one
+// that never saw a fault.
+func (fs *soakFaults) settle(t *testing.T, m *Middleware) {
+	t.Helper()
+	for len(fs.crashWin)+len(fs.flapWin) > 0 {
+		fs.tick(t, m)
+	}
+	for _, s := range sortedNodeKeys(fs.downSrc) {
+		fs.rejoin(t, m, s)
+	}
+	fs.fab.Pause()
+}
+
+func sortedNodeKeys[V any](m map[NodeID]V) []NodeID {
+	out := make([]NodeID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedLinkKeys[V any](m map[[2]NodeID]V) [][2]NodeID {
+	out := make([][2]NodeID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
 // runSoak drives one seeded soak run and returns nothing — it fails the
-// test on any invariant violation.
-func runSoak(t *testing.T, seed uint64, nOps int) {
-	t.Logf("churn soak: seed=%d ops=%d (reproduce with COSMOS_SOAK_SEED=%d)", seed, nOps, seed)
+// test on any invariant violation. With faults set, a chaos fabric
+// duplicates and reorders control traffic throughout, and crash/partition
+// windows interleave with the churn (see soakFaults).
+func runSoak(t *testing.T, seed uint64, nOps int, faults bool) {
+	t.Logf("churn soak: seed=%d ops=%d faults=%v (reproduce with COSMOS_SOAK_SEED=%d)", seed, nOps, faults, seed)
 	r := rand.New(rand.NewPCG(seed, 0x50a7))
 	g, procs := testTopology(t)
 	processors := procs[:4]
@@ -120,9 +230,25 @@ func runSoak(t *testing.T, seed uint64, nOps int) {
 		t.Fatalf("Start: %v", err)
 	}
 
+	var fs *soakFaults
+	opKinds := 20
+	if faults {
+		fs = &soakFaults{
+			fab:      chaos.New(chaos.Config{Seed: seed ^ 0xfa17, Dup: 0.08, Delay: 0.10, MaxHold: 3}),
+			crashWin: make(map[NodeID]int),
+			flapWin:  make(map[[2]NodeID]int),
+			downSrc:  make(map[NodeID]bool),
+		}
+		churn.m.net.SetPeerWrapper(fs.fab)
+		opKinds = 26
+	}
+
 	var queries []*soakQuery // all ever submitted, in submit order
 	ts := int64(0)
 	for op := 0; op < nOps; op++ {
+		if faults {
+			fs.tick(t, churn.m)
+		}
 		regList := make([]int, 0, soakStreams)
 		for i := range registered {
 			regList = append(regList, i)
@@ -134,13 +260,17 @@ func runSoak(t *testing.T, seed uint64, nOps int) {
 				liveQs = append(liveQs, qi)
 			}
 		}
-		switch k := r.IntN(20); {
+		switch k := r.IntN(opKinds); {
 		case k < 2: // register (fresh or revival)
 			var cands []int
 			for i := 0; i < soakStreams; i++ {
-				if !registered[i] {
-					cands = append(cands, i)
+				if registered[i] {
+					continue
 				}
+				if faults && fs.downSrc[defOf(i).Source] {
+					continue // source broker crashed; registration refused
+				}
+				cands = append(cands, i)
 			}
 			if len(cands) == 0 {
 				continue
@@ -201,11 +331,18 @@ func runSoak(t *testing.T, seed uint64, nOps int) {
 			if _, err := churn.m.Adapt(); err != nil {
 				t.Fatalf("seed %d op %d: Adapt: %v", seed, op, err)
 			}
-		default: // publish
-			if len(regList) == 0 {
+		case k < 20: // publish
+			var cands []int
+			for _, i := range regList {
+				if faults && fs.downSrc[defOf(i).Source] {
+					continue // stream unreachable while its source is down
+				}
+				cands = append(cands, i)
+			}
+			if len(cands) == 0 {
 				continue
 			}
-			i := regList[r.IntN(len(regList))]
+			i := cands[r.IntN(len(cands))]
 			ts++
 			tup := Tuple{
 				Stream:    soakStreamName(i),
@@ -215,7 +352,47 @@ func runSoak(t *testing.T, seed uint64, nOps int) {
 			if err := churn.m.Publish(tup); err != nil {
 				t.Fatalf("seed %d op %d: Publish: %v", seed, op, err)
 			}
+		case k < 22: // open a crash window on a live source broker
+			var cands []NodeID
+			for _, s := range sources {
+				if !fs.downSrc[s] && fs.crashWin[s] == 0 {
+					cands = append(cands, s)
+				}
+			}
+			if len(cands) == 0 {
+				continue
+			}
+			src := cands[r.IntN(len(cands))]
+			fs.fab.Crash(src)
+			fs.crashWin[src] = 1 + r.IntN(6)
+		case k < 24: // rejoin a crashed source broker
+			cands := sortedNodeKeys(fs.downSrc)
+			if len(cands) == 0 {
+				continue
+			}
+			fs.rejoin(t, churn.m, cands[r.IntN(len(cands))])
+		default: // open a partition window on an overlay link
+			links := churn.m.net.Links()
+			if len(links) == 0 {
+				continue
+			}
+			l := links[r.IntN(len(links))]
+			if fs.flapWin[l] > 0 {
+				continue
+			}
+			fs.fab.PartitionLink(l[0], l[1])
+			fs.flapWin[l] = 1 + r.IntN(6)
 		}
+	}
+
+	if faults {
+		// Close every loss window through its repair, rejoin everything,
+		// and park the injector: from here the churned overlay must be
+		// indistinguishable from a never-faulted one.
+		fs.settle(t, churn.m)
+		st := fs.fab.Stats()
+		t.Logf("chaos: delivered=%d dup=%d delayed=%d released=%d blackholed=%d",
+			st.Delivered, st.Duplicated, st.Delayed, st.Released, st.Blackholed)
 	}
 
 	// Reference rebuild: register every stream the churned registry knows
@@ -314,6 +491,13 @@ func runSoak(t *testing.T, seed uint64, nOps int) {
 	for _, p := range processors {
 		churn.m.net.RemoveStream(p, resultStreamName(p))
 	}
+	if faults {
+		// Reorder tombstones kept against late duplicates are the one
+		// piece of state dup/delay faults legitimately leave behind; with
+		// the injector parked no message is in flight, so they are
+		// garbage now and Quiesce sweeps them before the drain check.
+		churn.m.net.Quiesce()
+	}
 	if residual := churn.m.net.ResidualState(); len(residual) != 0 {
 		t.Fatalf("seed %d: broker state not drained after teardown:\n  %s",
 			seed, strings.Join(residual, "\n  "))
@@ -349,7 +533,41 @@ func TestChurnSoak(t *testing.T) {
 	for _, seed := range seeds {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			runSoak(t, seed, nOps)
+			runSoak(t, seed, nOps, false)
+		})
+	}
+}
+
+// TestChurnSoakFaults is the fault-injected form of the churn soak: the
+// same randomized churn runs under a chaos fabric that duplicates and
+// reorders control traffic throughout, with broker-crash and link-partition
+// windows (each closed through the repair path) interleaved. The oracles
+// are unchanged — rebuild equivalence on probe deliveries and
+// drain-to-empty — so the test asserts that recovery leaves the overlay
+// state-equivalent to a never-faulted build. Quick form by default (PR CI);
+// COSMOS_SOAK_FAULTS=1 raises seeds and op count (the nightly -race form);
+// COSMOS_SOAK_SEED pins one seed for reproduction.
+func TestChurnSoakFaults(t *testing.T) {
+	seeds := []uint64{1, 2, 3}
+	nOps := 150
+	if os.Getenv("COSMOS_SOAK_FAULTS") != "" {
+		seeds = seeds[:0]
+		for s := uint64(1); s <= 12; s++ {
+			seeds = append(seeds, s)
+		}
+		nOps = 900
+	}
+	if v := os.Getenv("COSMOS_SOAK_SEED"); v != "" {
+		s, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			t.Fatalf("bad COSMOS_SOAK_SEED %q: %v", v, err)
+		}
+		seeds = []uint64{s}
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runSoak(t, seed, nOps, true)
 		})
 	}
 }
