@@ -1,0 +1,53 @@
+// Command cosmoslint runs the repo's custom invariant analyzers (see
+// LINT.md) over package patterns and exits non-zero on findings:
+//
+//	go run ./cmd/cosmoslint ./...          # what CI's lint job runs
+//	go run ./cmd/cosmoslint -tests ./...   # nightly: test files too
+//
+// Exit codes: 0 clean, 1 findings, 2 operational failure (a package that
+// does not build, a bad pattern). Findings are suppressed per line with
+// `//lint:<analyzer> <reason>` annotations — see LINT.md for each
+// analyzer's invariant and escape hatch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis/checker"
+)
+
+func main() {
+	tests := flag.Bool("tests", false, "analyze test package variants (includes _test.go files)")
+	flag.Usage = usage
+	flag.Parse()
+	patterns := flag.Args()
+
+	diags, err := checker.Run("", *tests, checker.Analyzers(), patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cosmoslint:", err)
+		os.Exit(2)
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if rel, err := filepath.Rel(cwd, name); err == nil && len(rel) < len(name) {
+			name = rel
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "cosmoslint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: cosmoslint [-tests] [packages]\n\nanalyzers:\n")
+	for _, a := range checker.Analyzers() {
+		fmt.Fprintf(os.Stderr, "  %-15s %s\n", a.Name, a.Doc)
+	}
+	flag.PrintDefaults()
+}

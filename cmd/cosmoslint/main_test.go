@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/checker"
+)
+
+// TestSeededViolationsFail proves the CI lint step fails on new
+// violations: the seeded fixture trips every analyzer in the suite
+// through the same checker entry point the binary uses.
+func TestSeededViolationsFail(t *testing.T) {
+	diags, err := checker.Run("", false, checker.Analyzers(), "./testdata/seeded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := map[string]bool{}
+	for _, d := range diags {
+		fired[d.Analyzer] = true
+	}
+	for _, a := range checker.Analyzers() {
+		if !fired[a.Name] {
+			var got []string
+			for _, d := range diags {
+				got = append(got, d.String())
+			}
+			t.Errorf("analyzer %s did not fire on the seeded fixture; findings:\n%s",
+				a.Name, strings.Join(got, "\n"))
+		}
+	}
+}
+
+// TestCleanFixturePasses asserts the compliant shapes produce zero
+// findings — the other half of red-then-green.
+func TestCleanFixturePasses(t *testing.T) {
+	diags, err := checker.Run("", false, checker.Analyzers(), "./testdata/clean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding in clean fixture: %s", d)
+	}
+}
+
+// TestSuiteNames pins the analyzer set: LINT.md documents exactly these.
+func TestSuiteNames(t *testing.T) {
+	want := []string{"maporder", "lockdiscipline", "poolescape", "errdrop", "nondeterminism"}
+	as := checker.Analyzers()
+	if len(as) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(as), len(want))
+	}
+	for i, a := range as {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %s, want %s", i, a.Name, want[i])
+		}
+	}
+}

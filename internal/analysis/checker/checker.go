@@ -1,0 +1,96 @@
+// Package checker runs the cosmoslint analyzer suite over loaded packages
+// and applies the uniform //lint: suppression filtering. cmd/cosmoslint is
+// a thin CLI over Run; tests drive Run directly against fixture packages.
+package checker
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/errdrop"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/lockdiscipline"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/nondeterminism"
+	"repro/internal/analysis/poolescape"
+)
+
+// Analyzers returns the full cosmoslint suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		maporder.Analyzer,
+		lockdiscipline.Analyzer,
+		poolescape.Analyzer,
+		errdrop.Analyzer,
+		nondeterminism.Analyzer,
+	}
+}
+
+// Run loads patterns (relative to dir) and applies analyzers, returning
+// the surviving diagnostics sorted by position. Suppressed findings are
+// dropped; duplicate findings (the same non-test file analyzed both in a
+// base package and its test variant under includeTests) are merged.
+func Run(dir string, includeTests bool, analyzers []*analysis.Analyzer, patterns ...string) ([]analysis.Diagnostic, error) {
+	pkgs, err := load.Load(load.Config{Dir: dir, IncludeTests: includeTests}, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var all []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("type errors in %s (fix before linting): %v", pkg.ImportPath, pkg.TypeErrors[0])
+		}
+		diags, err := Check(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	seen := map[string]bool{}
+	dedup := all[:0]
+	for _, d := range all {
+		key := d.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		dedup = append(dedup, d)
+	}
+	return dedup, nil
+}
+
+// Check applies analyzers to one loaded package, returning unsuppressed
+// diagnostics in issue order.
+func Check(pkg *load.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	sup := analysis.BuildSuppressions(pkg.Fset, pkg.Files)
+	var out []analysis.Diagnostic
+	for _, a := range analyzers {
+		report := func(d analysis.Diagnostic) {
+			if !sup.Suppressed(d) {
+				out = append(out, d)
+			}
+		}
+		pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, report)
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+	}
+	return out, nil
+}

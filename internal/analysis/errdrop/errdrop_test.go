@@ -1,0 +1,16 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/errdrop"
+)
+
+func TestErrDrop(t *testing.T) {
+	analyzertest.Run(t, errdrop.Analyzer, "./testdata/src/a")
+}
+
+func TestErrDropTransportPackage(t *testing.T) {
+	analyzertest.Run(t, errdrop.Analyzer, "./testdata/src/transport")
+}

@@ -1,0 +1,60 @@
+// Package a is the errdrop fixture: discarded errors on wire-adjacent
+// calls (gob encode, bufio flush, net writes) are flagged; handled
+// errors, non-wire drops and annotated sites stay quiet.
+package a
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"strings"
+)
+
+func encodeDropped(enc *gob.Encoder, v any) {
+	_ = enc.Encode(v) // want `error result of gob\.Encode error discarded into _`
+}
+
+func encodeBare(enc *gob.Encoder, v any) {
+	enc.Encode(v) // want `error result of gob\.Encode return value not checked`
+}
+
+func encodeHandled(enc *gob.Encoder, v any) error {
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("encode: %w", err)
+	}
+	return nil
+}
+
+func flushDropped(w *bufio.Writer) {
+	_ = w.Flush() // want `error result of bufio\.Flush error discarded into _`
+}
+
+func closeDropped(c net.Conn) {
+	_ = c.Close() // want `error result of net\.Close error discarded into _`
+}
+
+// closeDeferred is the deferred-cleanup idiom: not flagged.
+func closeDeferred(c net.Conn) {
+	defer c.Close()
+}
+
+// closeAnnotated documents why the error is meaningless: the stream is
+// already poisoned, Close is best-effort teardown.
+func closeAnnotated(c net.Conn) {
+	//lint:errdrop stream already poisoned, best-effort teardown
+	_ = c.Close()
+}
+
+// multiAssign: the error lands in _ next to a kept result.
+func multiAssign(c net.Conn, b []byte) int {
+	n, _ := c.Write(b) // want `error result of net\.Write error discarded into _`
+	return n
+}
+
+// nonWireDrop: fmt and strings results are not wire calls — staticcheck
+// territory, not ours. Must stay quiet.
+func nonWireDrop(sb *strings.Builder) {
+	_, _ = fmt.Println("hello")
+	sb.WriteString("x")
+}

@@ -1,0 +1,36 @@
+// Package transport is the errdrop fixture for the in-repo transport
+// arm: the package path contains "transport", so its own error-returning
+// functions are must-check even from inside the package — the PR 6 bug
+// was exactly an in-package `_ =` drop of send().
+package transport
+
+type conn struct{}
+
+func (conn) send(b []byte) error { return nil }
+func (conn) flush() error        { return nil }
+func (conn) size() (int, error)  { return 0, nil }
+func helperNoError(b []byte) int { return len(b) }
+
+func dropSend(c conn, b []byte) {
+	_ = c.send(b) // want `error result of transport\.send error discarded into _`
+}
+
+func bareFlush(c conn) {
+	c.flush() // want `error result of transport\.flush return value not checked`
+}
+
+func handled(c conn, b []byte) error {
+	if err := c.send(b); err != nil {
+		return err
+	}
+	return c.flush()
+}
+
+func keepValueDropError(c conn) int {
+	n, _ := c.size() // want `error result of transport\.size error discarded into _`
+	return n
+}
+
+func noError(b []byte) {
+	helperNoError(b)
+}

@@ -1,0 +1,106 @@
+// Package a is the maporder fixture: order-sensitive map-range bodies are
+// flagged, the collect-then-sort idiom and annotated sites stay quiet.
+package a
+
+import (
+	"sort"
+)
+
+type peer struct{}
+
+func (peer) RouteFrom(int)     {}
+func (peer) PropagateFrom(int) {}
+
+type node struct {
+	peers map[int]peer
+}
+
+// appendUnsorted is the plain bug: element order follows map iteration.
+func appendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside range over map`
+	}
+	return keys
+}
+
+// appendThenSort is the canonical compliant idiom (TrafficReport fix):
+// the collected slice is sorted before anyone observes its order.
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// floatSum is the TrafficReport bug class: float addition in map order.
+func floatSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `float accumulation into "total" inside range over map`
+	}
+	return total
+}
+
+// floatSumExplicit spells the accumulation as x = x + v.
+func floatSumExplicit(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total = total + v // want `float accumulation into "total" inside range over map`
+	}
+	return total
+}
+
+// intSum is order-insensitive: integer addition is associative.
+func intSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// localAppend appends to a slice scoped to the loop body: each iteration
+// sees a fresh slice, so cross-iteration order cannot leak out.
+func localAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		n += len(doubled)
+	}
+	return n
+}
+
+// peerSends flags the wire-protocol method set inside a map range.
+func peerSends(n node) {
+	for _, p := range n.peers {
+		p.RouteFrom(1) // want `Peer send RouteFrom inside range over map`
+	}
+}
+
+// annotated is the allowlist escape hatch: the send is order-insensitive
+// (idempotent control refresh), recorded greppably.
+func annotated(n node) {
+	for _, p := range n.peers {
+		//lint:maporder idempotent refresh, receiver dedupes by epoch
+		p.PropagateFrom(7)
+	}
+}
+
+// sortedKeysThenSend is the compliant send pattern: range over the sorted
+// key slice, not the map.
+func sortedKeysThenSend(n node) {
+	keys := make([]int, 0, len(n.peers))
+	for k := range n.peers {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		n.peers[k].RouteFrom(1)
+	}
+}

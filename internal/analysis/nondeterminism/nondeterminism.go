@@ -1,0 +1,122 @@
+// Package nondeterminism flags seed-independent randomness in the
+// packages whose behavior must replay bit-identically from a seed: the
+// pub/sub routing core, the chaos fabric (whose whole point is
+// reproducible fault schedules) and the optimizer. The equivalence oracles
+// — rebuild equivalence, drain-to-empty, the Fig 6 sweeps — compare
+// complete system states across runs, so one wall-clock read or one draw
+// from the global rand source hidden in a hot path invalidates every one
+// of them.
+//
+// Flagged inside the target packages:
+//
+//   - time.Now / time.Since: wall-clock reads (timing-only measurement
+//     sites are annotated `//lint:nondeterminism timing only, ...`);
+//   - package-level math/rand and math/rand/v2 functions (Int, IntN,
+//     Float64, Shuffle, Perm, ...): draws from the process-global source.
+//     Constructors (New, NewPCG, NewSource, ...) stay quiet — building a
+//     seeded *rand.Rand is exactly the compliant pattern;
+//   - select statements with two or more ready-channel cases: the runtime
+//     picks uniformly at random, so the winner is schedule-dependent.
+//
+// Target packages are the built-in seed-deterministic set below; a
+// package outside it opts in by carrying a `//cosmoslint:deterministic`
+// comment in any of its files.
+package nondeterminism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nondeterminism",
+	Doc: "flag wall-clock reads, global rand-source draws and multi-case " +
+		"selects in packages that must be seed-deterministic",
+	Run: run,
+}
+
+// deterministicPackages is the built-in target set: the routing core, the
+// chaos fabric and the optimizer stack.
+var deterministicPackages = map[string]bool{
+	"repro/internal/pubsub":    true,
+	"repro/internal/chaos":     true,
+	"repro/internal/adapt":     true,
+	"repro/internal/mapping":   true,
+	"repro/internal/hierarchy": true,
+	"repro/internal/diffusion": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !applies(pass) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, x)
+			case *ast.SelectStmt:
+				checkSelect(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func applies(pass *analysis.Pass) bool {
+	if deterministicPackages[pass.Pkg.Path()] {
+		return true
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, "cosmoslint:deterministic") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			pass.Reportf(call.Pos(), "time.%s in a seed-deterministic package: wall-clock reads cannot replay (thread a logical clock through, or annotate //lint:nondeterminism for timing-only measurement)", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if strings.HasPrefix(fn.Name(), "New") {
+			return // seeded-source constructors are the compliant pattern
+		}
+		pass.Reportf(call.Pos(), "%s.%s draws from the process-global rand source: not seed-replayable — draw from a seeded *rand.Rand threaded through the config (or annotate //lint:nondeterminism)", fn.Pkg().Name(), fn.Name())
+	}
+}
+
+func checkSelect(pass *analysis.Pass, sel *ast.SelectStmt) {
+	comm := 0
+	for _, cl := range sel.Body.List {
+		if c, ok := cl.(*ast.CommClause); ok && c.Comm != nil {
+			comm++
+		}
+	}
+	if comm >= 2 {
+		pass.Reportf(sel.Pos(), "select with %d channel cases in a seed-deterministic package: the runtime picks ready cases uniformly at random (drain in a fixed order, or annotate //lint:nondeterminism)", comm)
+	}
+}

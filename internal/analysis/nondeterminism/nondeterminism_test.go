@@ -1,0 +1,16 @@
+package nondeterminism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/nondeterminism"
+)
+
+func TestNondeterminism(t *testing.T) {
+	analyzertest.Run(t, nondeterminism.Analyzer, "./testdata/src/a")
+}
+
+func TestNondeterminismOptOut(t *testing.T) {
+	analyzertest.Run(t, nondeterminism.Analyzer, "./testdata/src/optout")
+}

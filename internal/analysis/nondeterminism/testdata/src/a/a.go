@@ -1,0 +1,61 @@
+// Package a is the nondeterminism fixture. It opts into the
+// seed-deterministic contract explicitly:
+//
+//cosmoslint:deterministic
+package a
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now() // want `time\.Now in a seed-deterministic package`
+	return t.Unix()
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in a seed-deterministic package`
+}
+
+// timingAnnotated is the measurement escape hatch: the value feeds a
+// stats report, never a decision.
+func timingAnnotated() time.Time {
+	//lint:nondeterminism timing only, feeds the phase-runtime report
+	return time.Now()
+}
+
+func globalRandV1() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the process-global rand source`
+}
+
+func globalRandV2() float64 {
+	return randv2.Float64() // want `rand\.Float64 draws from the process-global rand source`
+}
+
+// seededRand is the compliant pattern: a seeded source threaded through.
+func seededRand(seed uint64) int {
+	rng := randv2.New(randv2.NewPCG(seed, 17))
+	return rng.IntN(10)
+}
+
+func racySelect(a, b chan int) int {
+	select { // want `select with 2 channel cases in a seed-deterministic package`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// singleCaseSelect has one ready case plus default: deterministic given
+// channel state, so it stays quiet.
+func singleCaseSelect(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,23 @@
+// Package optout is NOT in the deterministic set and carries no opt-in
+// comment: nothing here may be flagged even though every nondeterminism
+// pattern appears. (Regression guard: the analyzer must not leak outside
+// its target packages — cmd/ and the sim harness time real runs.)
+package optout
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time { return time.Now() }
+
+func globalRand() int { return rand.Intn(10) }
+
+func anySelect(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

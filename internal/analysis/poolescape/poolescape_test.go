@@ -1,0 +1,12 @@
+package poolescape_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/poolescape"
+)
+
+func TestPoolEscape(t *testing.T) {
+	analyzertest.Run(t, poolescape.Analyzer, "./testdata/src/a")
+}

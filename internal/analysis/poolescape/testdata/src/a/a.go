@@ -1,0 +1,101 @@
+// Package a is the poolescape fixture, modeled on the route-path buffer
+// pool: borrow from a sync.Pool, lend slices around, Put before exit.
+// Stored/returned/goroutine-captured references are flagged; the real
+// route() shape (use, clear, re-slice back into the pooled struct, Put)
+// stays quiet.
+package a
+
+import "sync"
+
+type bufs struct {
+	locals []int
+	hops   []int
+}
+
+var pool = sync.Pool{New: func() any { return new(bufs) }}
+
+var sink []int
+
+type holder struct{ kept []int }
+
+// routeShape is the compliant pattern from Broker.route: everything the
+// pool lent out is re-sliced back into the pooled struct before Put.
+func routeShape(n int) int {
+	b := pool.Get().(*bufs)
+	locals, hops := b.locals[:0], b.hops[:0]
+	for i := 0; i < n; i++ {
+		locals = append(locals, i)
+		hops = append(hops, 2*i)
+	}
+	total := 0
+	for _, v := range locals {
+		total += v
+	}
+	for _, v := range hops {
+		total += v
+	}
+	b.locals, b.hops = locals[:0], hops[:0]
+	pool.Put(b)
+	return total
+}
+
+func storeInGlobal() {
+	b := pool.Get().(*bufs)
+	sink = b.locals // want `pooled buffer stored in package variable "sink"`
+	pool.Put(b)
+}
+
+func storeInField(h *holder) {
+	b := pool.Get().(*bufs)
+	h.kept = b.locals // want `pooled buffer stored through a field store`
+	pool.Put(b)
+}
+
+func storeInMap(m map[string][]int) {
+	b := pool.Get().(*bufs)
+	m["k"] = b.hops // want `pooled buffer stored through a map/slice element store`
+	pool.Put(b)
+}
+
+func returned() []int {
+	b := pool.Get().(*bufs)
+	out := b.locals[:0]
+	return out // want `pooled buffer returned from the borrowing function`
+}
+
+func sentOnChannel(ch chan []int) {
+	b := pool.Get().(*bufs)
+	ch <- b.locals // want `pooled buffer sent on a channel`
+	pool.Put(b)
+}
+
+func goroutineCapture() {
+	b := pool.Get().(*bufs)
+	go func() {
+		_ = len(b.locals) // want `pooled buffer "b" captured by a goroutine`
+	}()
+	pool.Put(b)
+}
+
+func appendedElsewhere(out [][]int) [][]int {
+	b := pool.Get().(*bufs)
+	out = append(out, b.locals) // want `pooled buffer appended into a non-pooled slice`
+	pool.Put(b)
+	return out
+}
+
+// copyOut is the sanctioned fix: copy the data, return the copy.
+func copyOut() []int {
+	b := pool.Get().(*bufs)
+	out := make([]int, len(b.locals))
+	copy(out, b.locals)
+	pool.Put(b)
+	return out
+}
+
+// annotated: a deliberate long-lived borrow, documented.
+func annotated() []int {
+	b := pool.Get().(*bufs)
+	//lint:poolescape deliberate leak, buffer retired from the pool
+	return b.locals
+}

@@ -120,6 +120,8 @@ type heldMsg struct {
 // Fabric is a pubsub.PeerWrapper implementing the fault schedule. Install
 // it with Network.SetPeerWrapper. The zero value is not usable; use New.
 type Fabric struct {
+	// cosmoslint:guards — fault decisions happen under mu, but held or
+	// duplicated messages are delivered to Peers only after release.
 	mu      sync.Mutex
 	rng     *rand.Rand
 	cfg     Config

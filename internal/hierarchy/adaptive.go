@@ -67,14 +67,21 @@ func (t *Tree) Adapt(loadOf func(name string) float64) (*AdaptReport, error) {
 		return nil, err
 	}
 
+	// Accumulate in sorted query order: float addition is not associative,
+	// so a map-order sum would drift bit-for-bit across runs.
 	rep := &AdaptReport{}
+	moved := make([]string, 0, len(t.placement))
 	for name, proc := range t.placement {
 		if old, ok := prev[name]; ok && old != proc {
-			rep.Migrations++
-			q := t.queries[name]
-			rep.MovedLoad += q.Load
-			rep.MovedState += q.StateSize
+			moved = append(moved, name)
 		}
+	}
+	sort.Strings(moved)
+	for _, name := range moved {
+		rep.Migrations++
+		q := t.queries[name]
+		rep.MovedLoad += q.Load
+		rep.MovedState += q.StateSize
 	}
 	return rep, nil
 }

@@ -172,9 +172,9 @@ func (t *Tree) upwardPass(queries []querygraph.QueryInfo,
 		errs := make([]error, len(cs))
 		t.forEachParallel(len(cs), func(i int) {
 			c := cs[i]
-			start := time.Now()
+			start := time.Now() //lint:nondeterminism wall-clock instrumentation: upTime only feeds timing reports, never a decision
 			out, err := t.coarsenAndRegister(c, submissions[c], canMerge)
-			c.upTime = time.Since(start)
+			c.upTime = time.Since(start) //lint:nondeterminism wall-clock instrumentation: upTime only feeds timing reports, never a decision
 			outs[i], errs[i] = out, err
 		})
 		for _, err := range errs {
@@ -438,7 +438,7 @@ func (c *Coordinator) assignableCount() int {
 // recursions fan out over goroutines bounded by the semaphore's capacity,
 // running inline when no slot is free.
 func (t *Tree) descend(c *Coordinator, incoming []*querygraph.Vertex, assignFn assignFunc, sem chan struct{}) error {
-	start := time.Now()
+	start := time.Now() //lint:nondeterminism wall-clock instrumentation: downTime only feeds timing reports, never a decision
 
 	// Expand to this coordinator's working granularity.
 	work, err := t.expandAll(incoming, c.Level-1)
@@ -484,7 +484,7 @@ func (t *Tree) descend(c *Coordinator, incoming []*querygraph.Vertex, assignFn a
 			}
 		}
 	}
-	c.downTime = time.Since(start)
+	c.downTime = time.Since(start) //lint:nondeterminism wall-clock instrumentation: downTime only feeds timing reports, never a decision
 
 	if c.IsLeaf() {
 		t.placeMu.Lock()

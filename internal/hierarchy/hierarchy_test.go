@@ -231,6 +231,7 @@ func TestProcessorLoads(t *testing.T) {
 	loads := tree.ProcessorLoads()
 	var total float64
 	for _, l := range loads {
+		//lint:maporder the sum is asserted within a 1e-9 tolerance, far above any summation-order drift
 		total += l
 	}
 	want := 0.1 * float64(len(queries))

@@ -242,6 +242,7 @@ func TestRemoveSurvivesAdapt(t *testing.T) {
 	// ProcessorLoads reflects exactly the survivors.
 	var total float64
 	for _, l := range tree.ProcessorLoads() {
+		//lint:maporder the sum is asserted within a 1e-9 tolerance, far above any summation-order drift
 		total += l
 	}
 	want := 0.1 * float64(len(queries)-10)

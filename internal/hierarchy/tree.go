@@ -383,14 +383,21 @@ func (t *Tree) Placement() map[string]topology.NodeID {
 	return out
 }
 
-// ProcessorLoads returns the current per-processor query load.
+// ProcessorLoads returns the current per-processor query load. Loads are
+// accumulated in sorted query order: float addition is not associative, so
+// a map-order sum would drift bit-for-bit across runs.
 func (t *Tree) ProcessorLoads() map[topology.NodeID]float64 {
 	out := make(map[topology.NodeID]float64, len(t.procCap))
 	for p := range t.procCap {
 		out[p] = 0
 	}
-	for q, p := range t.placement {
-		out[p] += t.queries[q].Load
+	names := make([]string, 0, len(t.placement))
+	for q := range t.placement {
+		names = append(names, q)
+	}
+	sort.Strings(names)
+	for _, q := range names {
+		out[t.placement[q]] += t.queries[q].Load
 	}
 	return out
 }

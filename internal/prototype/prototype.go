@@ -12,6 +12,7 @@ package prototype
 import (
 	"fmt"
 	"math/rand/v2"
+	"sort"
 	"strings"
 	"time"
 
@@ -444,9 +445,21 @@ func (w *World) cosmosCost(cqs []*CompiledQuery, placement map[string]topology.N
 			total += cq.Info.ResultRate * w.Oracle.Latency(proc, cq.Proxy)
 		}
 	}
-	for k, sel := range wire {
+	// Sum the wire terms in sorted key order: float addition is not
+	// associative, and the cost is compared bit-for-bit across runs.
+	keys := make([]key, 0, len(wire))
+	for k := range wire {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].proc != keys[j].proc {
+			return keys[i].proc < keys[j].proc
+		}
+		return keys[i].sub < keys[j].sub
+	})
+	for _, k := range keys {
 		src := w.SourceOfSub[k.sub]
-		total += w.SubRates[k.sub] * sel * w.Oracle.Latency(src, k.proc)
+		total += w.SubRates[k.sub] * wire[k] * w.Oracle.Latency(src, k.proc)
 	}
 	return total
 }

@@ -104,6 +104,8 @@ var _ Peer = (*Broker)(nil)
 type Broker struct {
 	Node topology.NodeID
 
+	// cosmoslint:guards — no Peer send, transport call or Handler
+	// callback may run while mu is held (lock-mutate-unlock-send).
 	mu        sync.Mutex
 	net       Fabric
 	neighbors []topology.NodeID
@@ -470,6 +472,7 @@ func (b *Broker) pruneAdvertLocked(streamName string, withdrawnDir topology.Node
 					}
 					delete(c.suppresses, e)
 					delete(e.rec.coveredBy, e.to)
+					//lint:maporder freed edges are put into canonical sweep order by sortCovEdges before any re-decision
 					edges = append(edges, e)
 				}
 				if len(c.suppresses) == 0 {

@@ -371,6 +371,7 @@ func detachCovEdges(c *compiledSub) []covEdge {
 	out := make([]covEdge, 0, len(c.suppresses))
 	for e := range c.suppresses {
 		delete(e.rec.coveredBy, e.to)
+		//lint:maporder freed edges are put into canonical sweep order by sortCovEdges below
 		out = append(out, e)
 	}
 	c.suppresses = nil

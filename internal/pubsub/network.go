@@ -246,7 +246,10 @@ func (net *Network) reattachComponents() {
 		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 		adj := make(map[topology.NodeID][]topology.NodeID, len(nodes))
 		for link := range net.links {
-			adj[link[0]] = append(adj[link[0]], link[1])
+			// Adjacency only feeds the reachability flood below; the
+			// connected SET and the sorted best-edge scan that consume it
+			// are order-independent.
+			adj[link[0]] = append(adj[link[0]], link[1]) //lint:maporder consumed as a set; see above
 			adj[link[1]] = append(adj[link[1]], link[0])
 		}
 		connected := map[topology.NodeID]bool{nodes[0]: true}
@@ -514,6 +517,7 @@ func (net *Network) SetLinearMatching(on bool) {
 	net.linear = on
 	brokers := make([]*Broker, 0, len(net.brokers))
 	for _, b := range net.brokers {
+		//lint:maporder each broker gets one independent flag write; visit order is unobservable
 		brokers = append(brokers, b)
 	}
 	net.mu.Unlock()
@@ -530,6 +534,7 @@ func (net *Network) SetAttrPruning(on bool) {
 	net.noPrune = !on
 	brokers := make([]*Broker, 0, len(net.brokers))
 	for _, b := range net.brokers {
+		//lint:maporder each broker gets one independent flag write; visit order is unobservable
 		brokers = append(brokers, b)
 	}
 	net.mu.Unlock()

@@ -618,6 +618,7 @@ func (g *Graph) ensureIndex() *invIndex {
 			idx.vertsOfNode[node] = append(idx.vertsOfNode[node], int32(id))
 		}
 		for node := range v.ResultRates {
+			//lint:maporder one append per (node, id) pair: each per-node list still fills in ascending id order from the outer slice scan
 			idx.resultTo[node] = append(idx.resultTo[node], int32(id))
 		}
 	}
@@ -1193,6 +1194,7 @@ func (g *Graph) RemoveVertex(id int) *Vertex {
 			bits, srcs := g.interestBitsOf(v.Interest)
 			resultNodes := make([]topology.NodeID, 0, len(v.ResultRates))
 			for node := range v.ResultRates {
+				//lint:maporder indexForget removes id from each node's list independently; removals on distinct keys commute
 				resultNodes = append(resultNodes, node)
 			}
 			g.indexForget(int32(id), bits, srcs, v.Nodes, resultNodes)
@@ -1242,6 +1244,7 @@ func (g *Graph) ShrinkVertex(id int, nv *Vertex) {
 			var dropResult []topology.NodeID
 			for node := range old.ResultRates {
 				if _, still := nv.ResultRates[node]; !still {
+					//lint:maporder indexForget removes id from each node's list independently; removals on distinct keys commute
 					dropResult = append(dropResult, node)
 				}
 			}
@@ -1385,9 +1388,11 @@ func collapse(u, v *Vertex) *Vertex {
 	if len(u.ResultRates)+len(v.ResultRates) > 0 {
 		w.ResultRates = make(map[topology.NodeID]float64, len(u.ResultRates)+len(v.ResultRates))
 		for n, r := range u.ResultRates {
+			//lint:maporder map keys are unique, so each w entry is written once per source map — u's value then v's; no order-dependent accumulation
 			w.ResultRates[n] += r
 		}
 		for n, r := range v.ResultRates {
+			//lint:maporder map keys are unique, so each w entry is written once per source map — u's value then v's; no order-dependent accumulation
 			w.ResultRates[n] += r
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/bitvec"
@@ -158,10 +159,13 @@ func TestRemoveVertexRepairsIndex(t *testing.T) {
 		}
 
 		for round := 0; round < 10; round++ {
+			// Sorted so the seeded r.IntN index picks the same vertex
+			// every run — map order would break reproducibility.
 			ids := make([]int, 0, len(live))
 			for id := range live {
 				ids = append(ids, id)
 			}
+			sort.Ints(ids)
 			switch {
 			case len(ids) > 0 && r.IntN(2) == 0:
 				// Remove a random query vertex.
@@ -188,6 +192,7 @@ func TestRemoveVertexRepairsIndex(t *testing.T) {
 				}
 				_ = merged.Interest.Or(extra.Interest)
 				for n, rr := range old.ResultRates {
+					//lint:maporder unique keys: each entry of the fresh map is written exactly once
 					merged.ResultRates[n] += rr
 				}
 				merged.ResultRates[extra.Proxy] += extra.ResultRate
@@ -209,6 +214,7 @@ func TestRemoveVertexRepairsIndex(t *testing.T) {
 					StateSize:   old.StateSize,
 				}
 				for n, rr := range old.ResultRates {
+					//lint:maporder unique keys: each entry of the fresh map is written exactly once
 					shrunk.ResultRates[n] += rr
 				}
 				g.ShrinkVertex(nv.ID, shrunk)

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/metrics"
 	"repro/internal/querygraph"
@@ -11,6 +12,27 @@ import (
 
 // Placement maps query name -> processor node.
 type Placement map[string]topology.NodeID
+
+// sortedSubs and sortedProcs fix the iteration order of the receiver-set
+// maps the cost models build: the costs are float sums compared bit-for-bit
+// across runs, so summation order must not follow map order.
+func sortedSubs(m map[int]map[topology.NodeID]bool) []int {
+	subs := make([]int, 0, len(m))
+	for sub := range m {
+		subs = append(subs, sub)
+	}
+	sort.Ints(subs)
+	return subs
+}
+
+func sortedProcs(set map[topology.NodeID]bool) []topology.NodeID {
+	procs := make([]topology.NodeID, 0, len(set))
+	for proc := range set {
+		procs = append(procs, proc)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	return procs
+}
 
 // WeightedCommCost computes the paper's weighted unit-time communication
 // cost Σ r(ni,nj)·d(ni,nj) (§3.1.1): r(ni,nj) is the traffic between a pair
@@ -36,15 +58,18 @@ func (w *World) WeightedCommCost(wl *workload.Workload, p Placement) float64 {
 			set[proc] = true
 		}
 	}
+	// Sum in sorted (sub, proc) order: float addition is not associative,
+	// and cost ratios are compared bit-for-bit across runs and schemes.
 	var total float64
-	for sub, procs := range bySub {
+	for _, sub := range sortedSubs(bySub) {
+		procs := bySub[sub]
 		rate := wl.SubRates[sub]
 		if rate == 0 {
 			continue
 		}
 		src := wl.SourceOfSub[sub]
 		row := w.Oracle.Row(src)
-		for proc := range procs {
+		for _, proc := range sortedProcs(procs) {
 			total += rate * row[proc]
 		}
 	}
@@ -82,9 +107,11 @@ func (w *World) MulticastCommCost(wl *workload.Workload, p Placement) float64 {
 	}
 
 	var total float64
-	// Source-side multicast cost.
+	// Source-side multicast cost, summed in sorted (sub, proc) order: the
+	// union of tree edges is order-independent, but the float sum is not.
 	visited := make(map[topology.NodeID]bool, 64)
-	for sub, procs := range interested {
+	for _, sub := range sortedSubs(interested) {
+		procs := interested[sub]
 		rate := wl.SubRates[sub]
 		if rate == 0 {
 			continue
@@ -96,7 +123,7 @@ func (w *World) MulticastCommCost(wl *workload.Workload, p Placement) float64 {
 		clear(visited)
 		visited[src] = true
 		var treeCost float64
-		for proc := range procs {
+		for _, proc := range sortedProcs(procs) {
 			for n := proc; !visited[n]; {
 				visited[n] = true
 				par := t.parent[n]

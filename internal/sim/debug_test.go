@@ -41,10 +41,12 @@ func (w *World) costParts(wl *workload.Workload, p Placement) (src, res float64)
 				if par < 0 {
 					break
 				}
+				//lint:maporder diagnostic decomposition, only ever t.Logf'd at %.0f — never asserted
 				treeCost += t.dist[n] - t.dist[par]
 				n = par
 			}
 		}
+		//lint:maporder diagnostic decomposition, only ever t.Logf'd at %.0f — never asserted
 		src += rate * treeCost
 	}
 	for _, q := range wl.Queries {
@@ -121,6 +123,7 @@ func TestDiagnoseCost(t *testing.T) {
 		}
 		var fan float64
 		for _, s := range perSub {
+			//lint:maporder small-integer terms: float64 addition of set sizes is exact, so order cannot change the sum
 			fan += float64(len(s))
 		}
 		fan /= float64(len(perSub))

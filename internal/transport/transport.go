@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -224,9 +225,11 @@ func (n *Node) Close() error {
 	n.closed = true
 	err := n.ln.Close()
 	for _, p := range n.peers {
+		//lint:errdrop best-effort teardown: the node is closing and the listener error above is the one reported
 		_ = p.conn.Close()
 	}
 	for c := range n.inbound {
+		//lint:errdrop best-effort teardown: the node is closing and the listener error above is the one reported
 		_ = c.Close()
 	}
 	n.mu.Unlock()
@@ -245,6 +248,7 @@ func (n *Node) accept() {
 		n.mu.Lock()
 		if n.closed {
 			n.mu.Unlock()
+			//lint:errdrop connection raced the shutdown and is discarded unused; nothing to salvage from its close
 			_ = conn.Close()
 			return
 		}
@@ -261,6 +265,7 @@ func (n *Node) serve(conn net.Conn) {
 		n.mu.Lock()
 		delete(n.inbound, conn)
 		n.mu.Unlock()
+		//lint:errdrop the decode loop already ended this stream; close is cleanup, its error changes nothing
 		_ = conn.Close()
 	}()
 	dec := gob.NewDecoder(conn)
@@ -326,6 +331,7 @@ func (n *Node) send(peer topology.NodeID, env Envelope) error {
 	err := pc.enc.Encode(env)
 	pc.mu.Unlock()
 	if err != nil {
+		//lint:errdrop the encode error is the one propagated; closing the poisoned conn is disposal, not I/O
 		_ = pc.conn.Close()
 		n.mu.Lock()
 		if n.peers[peer] == pc {
@@ -452,13 +458,23 @@ func (n *Node) CountData(_, to topology.NodeID, size int) {
 func (n *Node) SentBytes() (data, control float64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	for _, b := range n.data {
-		data += b
+	return sumByPeer(n.data), sumByPeer(n.control)
+}
+
+// sumByPeer adds per-peer byte totals in ascending peer order: float
+// addition is not associative, so a map-order sum would drift bit-for-bit
+// across runs (the TrafficReport bug class).
+func sumByPeer(m map[topology.NodeID]float64) float64 {
+	ids := make([]topology.NodeID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
 	}
-	for _, b := range n.control {
-		control += b
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var total float64
+	for _, id := range ids {
+		total += m[id]
 	}
-	return data, control
+	return total
 }
 
 var _ pubsub.Fabric = (*Node)(nil)

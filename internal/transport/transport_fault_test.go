@@ -21,7 +21,7 @@ func poisonPeer(t *testing.T, n *Node, peer topology.NodeID, addr string) *peerC
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = conn.Close()
+	_ = conn.Close() //lint:errdrop closing is the point: the test wants a poisoned socket
 	pc := &peerConn{conn: conn, enc: gob.NewEncoder(conn)}
 	n.mu.Lock()
 	n.peers[peer] = pc
@@ -81,14 +81,14 @@ func TestSendErrorHandlerSurfacesTerminalFailures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { _ = n.Close() })
+	t.Cleanup(func() { _ = n.Close() }) //lint:errdrop test teardown is best-effort
 	// A listener we immediately close: dialing its address now fails.
 	dead, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	deadAddr := dead.Addr().String()
-	_ = dead.Close()
+	_ = dead.Close() //lint:errdrop deliberately killing the listener so the dial target is dead
 	n.Connect(1, deadAddr)
 
 	type loss struct {
@@ -125,7 +125,7 @@ func TestReconnectAfterPeerRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { _ = a.Close() })
+	t.Cleanup(func() { _ = a.Close() }) //lint:errdrop test teardown is best-effort
 	b, err := NewNode(1, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -148,7 +148,7 @@ func TestReconnectAfterPeerRestart(t *testing.T) {
 	if err != nil {
 		t.Fatalf("rebind restarted peer at %s: %v", bAddr, err)
 	}
-	t.Cleanup(func() { _ = b2.Close() })
+	t.Cleanup(func() { _ = b2.Close() }) //lint:errdrop test teardown is best-effort
 	b2.Connect(0, a.Addr())
 
 	// The advert-epoch resend rides whatever connection state a has; the

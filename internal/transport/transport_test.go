@@ -20,7 +20,7 @@ func line3(t *testing.T) [3]*Node {
 		if err != nil {
 			t.Fatalf("NewNode %d: %v", i, err)
 		}
-		t.Cleanup(func() { _ = n.Close() })
+		t.Cleanup(func() { _ = n.Close() }) //lint:errdrop test teardown is best-effort
 		nodes[i] = n
 	}
 	nodes[0].Connect(1, nodes[1].Addr())
