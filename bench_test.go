@@ -8,6 +8,7 @@ package cosmos
 import (
 	"fmt"
 	"os"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/adapt"
@@ -352,6 +353,100 @@ func benchBrokerRoute(b *testing.B, nSubs int, linear bool) {
 	}
 	b.StopTimer()
 	if delivered == 0 {
+		b.Fatal("no deliveries: benchmark not exercising the match path")
+	}
+}
+
+// BenchmarkBrokerRouteParallel drives the BenchmarkBrokerRoute topology
+// from b.RunParallel: every goroutine publishes concurrently from the same
+// source broker, so all routes contend on one broker's matching state.
+// With the snapshot read path this is lock-free and should scale with cpu
+// count; any residual serialization on the route path shows up as flat
+// ns/op across -cpu. Run with -cpu 1,2,4,8 to record the scaling profile —
+// cmd/benchcheck keys every cpu count separately (".../subs=1000-8"), so
+// the nightly multi-core lane guards each level on its own baseline. The
+// 1-vCPU historical-CI numbers stay comparable to BenchmarkBrokerRoute's
+// indexed mode (same topology, same match work, one publisher).
+func BenchmarkBrokerRouteParallel(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("subs=%d", n), func(b *testing.B) {
+			benchBrokerRouteParallel(b, n)
+		})
+	}
+}
+
+func benchBrokerRouteParallel(b *testing.B, nSubs int) {
+	g := topology.NewGraph(2)
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		b.Fatal(err)
+	}
+	net, err := pubsub.NewNetwork(topology.NewOracle(g), []topology.NodeID{0, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, _ := net.Broker(0)
+	dst, _ := net.Broker(1)
+	const streams = 64
+	streamName := func(s int) string { return fmt.Sprintf("S%02d", s) }
+	for s := 0; s < streams; s++ {
+		src.Advertise(streamName(s))
+	}
+	mkFilter := func(attr string, op query.Op, v float64) query.Predicate {
+		lit := stream.FloatVal(v)
+		return query.Predicate{
+			Left:  query.Operand{Col: &query.ColRef{Attr: attr}},
+			Op:    op,
+			Right: query.Operand{Lit: &lit},
+		}
+	}
+	var delivered atomic.Int64
+	for i := 0; i < nSubs; i++ {
+		k := float64(i / streams)
+		sub := &pubsub.Subscription{
+			ID:      fmt.Sprintf("s%d", i),
+			Streams: []string{streamName(i % streams)},
+			Filters: []query.Predicate{
+				mkFilter("a", query.Ge, k),
+				mkFilter("a", query.Lt, k+2),
+			},
+		}
+		if i%2 == 0 {
+			sub.Attrs = []string{"a", "b"}
+		}
+		if err := dst.Subscribe(sub, func(*pubsub.Subscription, stream.Tuple) { delivered.Add(1) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	windows := nSubs/streams + 2
+	for s := 0; s < streams; s++ {
+		src.Publish(stream.Tuple{
+			Stream: streamName(s),
+			Attrs:  map[string]stream.Value{"a": stream.FloatVal(0), "b": stream.FloatVal(1)},
+			Size:   32,
+		})
+	}
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Offset each goroutine's walk so concurrent publishers spread over
+		// different streams and window positions instead of marching in
+		// lockstep.
+		i := int(seq.Add(1)) * 1000003
+		for pb.Next() {
+			t := stream.Tuple{
+				Stream: streamName(i % streams),
+				Attrs: map[string]stream.Value{
+					"a": stream.FloatVal(float64(i % windows)),
+					"b": stream.FloatVal(1),
+				},
+				Size: 32,
+			}
+			src.Publish(t)
+			i++
+		}
+	})
+	b.StopTimer()
+	if delivered.Load() == 0 {
 		b.Fatal("no deliveries: benchmark not exercising the match path")
 	}
 }

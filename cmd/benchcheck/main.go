@@ -11,12 +11,22 @@
 //	go run ./cmd/benchcheck -baseline BENCH_BASELINE.json -tolerance 4 bench.txt
 //
 // The baseline file's top-level "guard" object maps benchmark names (as
-// printed by the testing package, without the trailing -GOMAXPROCS suffix)
-// to {"ns_per_op": <recorded>} plus optionally {"b_per_op": <bytes>,
-// "allocs_per_op": <allocs>} — the latter two require the bench job to run
-// with -benchmem and guard the route-path allocation budget the same way
-// wall time is guarded. A run fails when any observed minimum exceeds
-// recorded*tolerance.
+// printed by the testing package) to {"ns_per_op": <recorded>} plus
+// optionally {"b_per_op": <bytes>, "allocs_per_op": <allocs>} — the latter
+// two require the bench job to run with -benchmem and guard the route-path
+// allocation budget the same way wall time is guarded. A run fails when
+// any observed minimum exceeds recorded*tolerance.
+//
+// Results are keyed INCLUDING the trailing -GOMAXPROCS suffix, so a
+// `go test -cpu 1,2,4,8` sweep guards each parallelism level separately
+// ("BenchmarkBrokerRouteParallel/subs=1000-8"). The testing package omits
+// the suffix at GOMAXPROCS=1; those lines are normalized to an explicit
+// "-1" key so a cpu-1 guard has a stable name in every lane. A suffix-less
+// guard name still matches when the input observed exactly one cpu count
+// for that benchmark — the single-count CI lanes keep their historical
+// keys regardless of the runner's core count — but matching it against a
+// multi-count sweep is ambiguous (which count would it guard?) and fails
+// hard: per-cpu guards must use per-cpu keys.
 //
 // A guarded benchmark that appears in NONE of the input files is an error:
 // a renamed or deleted benchmark must not quietly disable its guard. Jobs
@@ -59,9 +69,14 @@ type observed struct {
 // "BenchmarkBrokerRoute/indexed/subs=1000-2   300000   3927 ns/op   12 B/op   3 allocs/op".
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+)\s+ns/op(?:.*?\s([0-9.]+)\s+B/op\s+([0-9.]+)\s+allocs/op)?`)
 
-// parseBench extracts the per-benchmark metric minima (the trailing
-// -GOMAXPROCS suffix stripped) from bench output.
-func parseBench(r io.Reader, into map[string]*observed) error {
+// cpuSuffix recognizes a guard name that already pins one GOMAXPROCS.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts the per-benchmark metric minima from bench output,
+// keyed by the full printed name (GOMAXPROCS suffix included — each cpu
+// count of a -cpu sweep is its own result). variants records, per
+// suffix-less base name, the full keys observed for it.
+func parseBench(r io.Reader, into map[string]*observed, variants map[string]map[string]bool) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -73,10 +88,19 @@ func parseBench(r io.Reader, into map[string]*observed) error {
 		if err != nil {
 			return fmt.Errorf("benchcheck: bad ns/op in %q: %w", sc.Text(), err)
 		}
-		o := into[m[1]]
+		suffix := m[2]
+		if suffix == "" {
+			suffix = "-1" // GOMAXPROCS=1: the testing package omits the suffix
+		}
+		key := m[1] + suffix
+		if variants[m[1]] == nil {
+			variants[m[1]] = map[string]bool{}
+		}
+		variants[m[1]][key] = true
+		o := into[key]
 		if o == nil {
 			o = &observed{ns: ns, bytes: -1, allocs: -1}
-			into[m[1]] = o
+			into[key] = o
 		} else if ns < o.ns {
 			o.ns = ns
 		}
@@ -101,9 +125,10 @@ func parseBench(r io.Reader, into map[string]*observed) error {
 // check compares observed minima against the guard with the given
 // tolerance multiplier, returning regression messages, the guarded
 // benchmark names absent from the input (each one a disabled guard — the
-// caller fails on them unless explicitly allowed), and missing-metric
-// warnings, all in sorted guard order.
-func check(guard map[string]guardEntry, obs map[string]*observed, tolerance float64) (regressions, missing, warnings []string) {
+// caller fails on them unless explicitly allowed), missing-metric
+// warnings, and ambiguity errors (a suffix-less guard facing a multi-cpu
+// sweep), all in sorted guard order.
+func check(guard map[string]guardEntry, obs map[string]*observed, variants map[string]map[string]bool, tolerance float64) (regressions, missing, warnings, ambiguous []string) {
 	names := make([]string, 0, len(guard))
 	for name := range guard {
 		names = append(names, name)
@@ -117,11 +142,40 @@ func check(guard map[string]guardEntry, obs map[string]*observed, tolerance floa
 				name, got, metric, limit, base, tolerance))
 		}
 	}
+	// resolve maps a guard name to its observation. A suffixed key is an
+	// exact lookup; a suffix-less key (which is also the GOMAXPROCS=1
+	// printing) resolves only when the input observed exactly one cpu count
+	// for that benchmark — a multi-count sweep is ambiguous and must be
+	// re-keyed per cpu.
+	resolve := func(name string) (o *observed, isAmbiguous bool) {
+		if cpuSuffix.MatchString(name) {
+			return obs[name], false
+		}
+		vs := variants[name]
+		if len(vs) > 1 {
+			keys := make([]string, 0, len(vs))
+			//lint:maporder keys are put into canonical order by sort.Strings below
+			for k := range vs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			ambiguous = append(ambiguous, fmt.Sprintf(
+				"%s: input holds %d cpu counts (%s) — a suffix-less guard cannot pick one; key the guard per cpu count (\"%s-N\")",
+				name, len(vs), strings.Join(keys, ", "), name))
+			return nil, true
+		}
+		for k := range vs {
+			return obs[k], false
+		}
+		return nil, false
+	}
 	for _, name := range names {
 		g := guard[name]
-		o, ok := obs[name]
-		if !ok {
-			missing = append(missing, name)
+		o, isAmbiguous := resolve(name)
+		if o == nil {
+			if !isAmbiguous {
+				missing = append(missing, name)
+			}
 			continue
 		}
 		if g.NsPerOp > 0 {
@@ -140,7 +194,7 @@ func check(guard map[string]guardEntry, obs map[string]*observed, tolerance floa
 			}
 		}
 	}
-	return regressions, missing, warnings
+	return regressions, missing, warnings, ambiguous
 }
 
 func run(baselinePath string, tolerance float64, allowMissing string, inputs []string) error {
@@ -165,12 +219,13 @@ func run(baselinePath string, tolerance float64, allowMissing string, inputs []s
 		}
 	}
 	obs := make(map[string]*observed)
+	variants := make(map[string]map[string]bool)
 	for _, path := range inputs {
 		f, err := os.Open(path)
 		if err != nil {
 			return err
 		}
-		err = parseBench(f, obs)
+		err = parseBench(f, obs, variants)
 		f.Close()
 		if err != nil {
 			return err
@@ -179,7 +234,7 @@ func run(baselinePath string, tolerance float64, allowMissing string, inputs []s
 	if len(obs) == 0 {
 		return fmt.Errorf("benchcheck: no benchmark results found in %v", inputs)
 	}
-	regressions, missing, warnings := check(baseline.Guard, obs, tolerance)
+	regressions, missing, warnings, ambiguous := check(baseline.Guard, obs, variants, tolerance)
 	var disabled []string
 	for _, name := range missing {
 		if allowRe != nil && allowRe.MatchString(name) {
@@ -199,7 +254,15 @@ func run(baselinePath string, tolerance float64, allowMissing string, inputs []s
 	sort.Strings(names)
 	for _, name := range names {
 		status := "unguarded"
-		if g, ok := baseline.Guard[name]; ok {
+		g, ok := baseline.Guard[name]
+		if !ok {
+			// A suffix-less guard that resolved to this single observed cpu
+			// count (the legacy keying) still reports as guarded.
+			if base := cpuSuffix.ReplaceAllString(name, ""); len(variants[base]) == 1 {
+				g, ok = baseline.Guard[base]
+			}
+		}
+		if ok {
 			var parts []string
 			if g.NsPerOp > 0 {
 				parts = append(parts, fmt.Sprintf("ns baseline %.0f, limit %.0f", g.NsPerOp, g.NsPerOp*tolerance))
@@ -224,6 +287,12 @@ func run(baselinePath string, tolerance float64, allowMissing string, inputs []s
 			fmt.Fprintf(os.Stderr, "benchcheck: REGRESSION: %s\n", r)
 		}
 		return fmt.Errorf("benchcheck: %d benchmark(s) regressed", len(regressions))
+	}
+	if len(ambiguous) > 0 {
+		for _, a := range ambiguous {
+			fmt.Fprintf(os.Stderr, "benchcheck: AMBIGUOUS: %s\n", a)
+		}
+		return fmt.Errorf("benchcheck: %d guard(s) ambiguous over a multi-cpu sweep", len(ambiguous))
 	}
 	if len(disabled) > 0 {
 		return fmt.Errorf("benchcheck: %d guarded benchmark(s) missing from input: %s",

@@ -9,28 +9,54 @@ import (
 const sampleOutput = `goos: linux
 goarch: amd64
 pkg: repro
-BenchmarkBrokerRoute/indexed-1000-2         	  300000	      4100 ns/op	    1500 B/op	       8 allocs/op
-BenchmarkBrokerRoute/indexed-1000-2         	  310000	      3950 ns/op	    1474 B/op	       7 allocs/op
-BenchmarkBrokerRoute/indexed-10000-2        	   50000	     21000 ns/op
+BenchmarkBrokerRoute/indexed/subs=1000-2         	  300000	      4100 ns/op	    1500 B/op	       8 allocs/op
+BenchmarkBrokerRoute/indexed/subs=1000-2         	  310000	      3950 ns/op	    1474 B/op	       7 allocs/op
+BenchmarkBrokerRoute/indexed/subs=10000-2        	   50000	     21000 ns/op
 BenchmarkFig6RunningTime-2                  	       5	 120000000 ns/op	        36.0 cen-ms
 PASS
 `
 
-func parse(t *testing.T, text string) map[string]*observed {
+// sweepOutput is a -cpu 1,2,8 sweep: the suffix-less line is how the
+// testing package prints GOMAXPROCS=1 (parseBench normalizes it to an
+// explicit "-1" key).
+const sweepOutput = `goos: linux
+BenchmarkBrokerRouteParallel/subs=1000         	  200000	      3300 ns/op
+BenchmarkBrokerRouteParallel/subs=1000-2       	  400000	      1800 ns/op
+BenchmarkBrokerRouteParallel/subs=1000-2       	  400000	      1700 ns/op
+BenchmarkBrokerRouteParallel/subs=1000-8       	 1000000	       600 ns/op
+PASS
+`
+
+func parse(t *testing.T, text string) (map[string]*observed, map[string]map[string]bool) {
 	t.Helper()
 	got := make(map[string]*observed)
-	if err := parseBench(strings.NewReader(text), got); err != nil {
+	variants := make(map[string]map[string]bool)
+	if err := parseBench(strings.NewReader(text), got, variants); err != nil {
 		t.Fatal(err)
 	}
-	return got
+	return got, variants
 }
 
-func TestParseBenchTakesMinAndStripsProcs(t *testing.T) {
-	got := parse(t, sampleOutput)
+// mkVariants derives the variants map for check() tests that construct
+// their observations directly.
+func mkVariants(obs map[string]*observed) map[string]map[string]bool {
+	v := map[string]map[string]bool{}
+	for k := range obs {
+		base := cpuSuffix.ReplaceAllString(k, "")
+		if v[base] == nil {
+			v[base] = map[string]bool{}
+		}
+		v[base][k] = true
+	}
+	return v
+}
+
+func TestParseBenchTakesMinPerCPUKey(t *testing.T) {
+	got, _ := parse(t, sampleOutput)
 	want := map[string]float64{
-		"BenchmarkBrokerRoute/indexed-1000":  3950,
-		"BenchmarkBrokerRoute/indexed-10000": 21000,
-		"BenchmarkFig6RunningTime":           120000000,
+		"BenchmarkBrokerRoute/indexed/subs=1000-2":  3950,
+		"BenchmarkBrokerRoute/indexed/subs=10000-2": 21000,
+		"BenchmarkFig6RunningTime-2":                120000000,
 	}
 	if len(got) != len(want) {
 		t.Fatalf("parsed %v, want %v", got, want)
@@ -43,40 +69,111 @@ func TestParseBenchTakesMinAndStripsProcs(t *testing.T) {
 	}
 }
 
+// TestParseKeysPerCPU: a -cpu sweep keeps each parallelism level as its
+// own key — the minimum is never taken across cpu counts — and variants
+// records every printing of a base name.
+func TestParseKeysPerCPU(t *testing.T) {
+	obs, variants := parse(t, sweepOutput)
+	want := map[string]float64{
+		"BenchmarkBrokerRouteParallel/subs=1000-1": 3300,
+		"BenchmarkBrokerRouteParallel/subs=1000-2": 1700,
+		"BenchmarkBrokerRouteParallel/subs=1000-8": 600,
+	}
+	for key, ns := range want {
+		o := obs[key]
+		if o == nil {
+			t.Fatalf("no observation under %q", key)
+		}
+		if o.ns != ns {
+			t.Errorf("%s: min %v ns/op, want %v", key, o.ns, ns)
+		}
+	}
+	if n := len(variants["BenchmarkBrokerRouteParallel/subs=1000"]); n != 3 {
+		t.Errorf("parallel bench has %d variants, want 3", n)
+	}
+}
+
 func TestParseBenchTracksMemoryMinima(t *testing.T) {
-	got := parse(t, sampleOutput)
-	o := got["BenchmarkBrokerRoute/indexed-1000"]
+	got, _ := parse(t, sampleOutput)
+	o := got["BenchmarkBrokerRoute/indexed/subs=1000-2"]
 	if !o.hasMem || o.bytes != 1474 || o.allocs != 7 {
 		t.Fatalf("memory minima = %+v, want 1474 B/op, 7 allocs/op", o)
 	}
-	if got["BenchmarkBrokerRoute/indexed-10000"].hasMem {
+	if got["BenchmarkBrokerRoute/indexed/subs=10000-2"].hasMem {
 		t.Fatal("10000 variant has no -benchmem columns, hasMem should be false")
 	}
 	// A metric-only line must not disturb the ns minimum.
-	if got["BenchmarkFig6RunningTime"].hasMem {
+	if got["BenchmarkFig6RunningTime-2"].hasMem {
 		t.Fatal("custom-metric line misparsed as memory columns")
 	}
 }
 
 func TestCheckFlagsOnlyGrossRegressions(t *testing.T) {
 	guard := map[string]guardEntry{
-		"BenchmarkBrokerRoute/indexed-1000": {NsPerOp: 4000},
-		"BenchmarkFig6RunningTime":          {NsPerOp: 115000000},
-		"BenchmarkNotRun":                   {NsPerOp: 1},
+		"BenchmarkBrokerRoute/indexed/subs=1000": {NsPerOp: 4000},
+		"BenchmarkFig6RunningTime":               {NsPerOp: 115000000},
+		"BenchmarkNotRun":                        {NsPerOp: 1},
 	}
 	obs := map[string]*observed{
-		"BenchmarkBrokerRoute/indexed-1000": {ns: 15000},     // 3.75x: inside 4x tolerance
-		"BenchmarkFig6RunningTime":          {ns: 700000000}, // ~6x: regression
+		"BenchmarkBrokerRoute/indexed/subs=1000-2": {ns: 15000},     // 3.75x: inside 4x tolerance
+		"BenchmarkFig6RunningTime-2":               {ns: 700000000}, // ~6x: regression
 	}
-	regressions, missing, warnings := check(guard, obs, 4.0)
+	regressions, missing, warnings, ambiguous := check(guard, obs, mkVariants(obs), 4.0)
 	if len(regressions) != 1 || !strings.Contains(regressions[0], "BenchmarkFig6RunningTime") {
 		t.Fatalf("regressions = %v, want exactly the Fig6 entry", regressions)
 	}
 	if len(missing) != 1 || missing[0] != "BenchmarkNotRun" {
 		t.Fatalf("missing = %v, want [BenchmarkNotRun]", missing)
 	}
-	if len(warnings) != 0 {
-		t.Fatalf("warnings = %v, want none", warnings)
+	if len(warnings) != 0 || len(ambiguous) != 0 {
+		t.Fatalf("warnings = %v, ambiguous = %v, want none", warnings, ambiguous)
+	}
+}
+
+// TestCheckSuffixedGuards: per-cpu guard keys compare against their own
+// cpu count's minimum, so a regression at one parallelism level fires
+// even when another level is fast.
+func TestCheckSuffixedGuards(t *testing.T) {
+	obs, variants := parse(t, sweepOutput)
+	guard := map[string]guardEntry{
+		"BenchmarkBrokerRouteParallel/subs=1000-2": {NsPerOp: 1000}, // observed 1700 > 1000*1.5
+		"BenchmarkBrokerRouteParallel/subs=1000-8": {NsPerOp: 500},  // observed 600 < 500*1.5
+	}
+	regressions, missing, warnings, ambiguous := check(guard, obs, variants, 1.5)
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "subs=1000-2") {
+		t.Errorf("regressions = %v, want exactly the -2 guard", regressions)
+	}
+	if len(missing)+len(warnings)+len(ambiguous) != 0 {
+		t.Errorf("unexpected missing=%v warnings=%v ambiguous=%v", missing, warnings, ambiguous)
+	}
+}
+
+// TestCheckAmbiguousSweep: a suffix-less guard over a multi-cpu sweep is
+// a hard error naming the observed keys — it must not silently collapse
+// the sweep into one minimum (the keying bug this scheme replaces).
+func TestCheckAmbiguousSweep(t *testing.T) {
+	obs, variants := parse(t, sweepOutput)
+	guard := map[string]guardEntry{"BenchmarkBrokerRouteParallel/subs=1000": {NsPerOp: 5000}}
+	regressions, missing, _, ambiguous := check(guard, obs, variants, 4.0)
+	if len(ambiguous) != 1 {
+		t.Fatalf("ambiguous = %v, want exactly one", ambiguous)
+	}
+	if !strings.Contains(ambiguous[0], "subs=1000-2") || !strings.Contains(ambiguous[0], "subs=1000-8") {
+		t.Errorf("ambiguity message does not name the observed keys: %s", ambiguous[0])
+	}
+	if len(missing) != 0 || len(regressions) != 0 {
+		t.Errorf("ambiguous guard also reported missing=%v regressions=%v", missing, regressions)
+	}
+}
+
+// TestCheckMissingSuffixedGuard: a per-cpu guard whose cpu count never
+// ran reports missing (the disabled-guard protection), not a silent pass.
+func TestCheckMissingSuffixedGuard(t *testing.T) {
+	obs, variants := parse(t, sweepOutput)
+	guard := map[string]guardEntry{"BenchmarkBrokerRouteParallel/subs=1000-4": {NsPerOp: 1000}}
+	_, missing, _, _ := check(guard, obs, variants, 4.0)
+	if len(missing) != 1 || missing[0] != "BenchmarkBrokerRouteParallel/subs=1000-4" {
+		t.Errorf("missing = %v, want the -4 guard", missing)
 	}
 }
 
@@ -88,7 +185,7 @@ func TestCheckGuardsMemoryMetrics(t *testing.T) {
 	obs := map[string]*observed{
 		"BenchmarkX": {ns: 1100, bytes: 900, allocs: 12, hasMem: true},
 	}
-	regressions, missing, warnings := check(guard, obs, 4.0)
+	regressions, missing, warnings, _ := check(guard, obs, mkVariants(obs), 4.0)
 	if len(regressions) != 1 || !strings.Contains(regressions[0], "B/op") {
 		t.Fatalf("regressions = %v, want exactly the B/op entry", regressions)
 	}
@@ -98,7 +195,7 @@ func TestCheckGuardsMemoryMetrics(t *testing.T) {
 	// Memory-guarded benchmark run without -benchmem: warn, don't fail —
 	// the wall-time guard still applied, unlike a bench missing outright.
 	obs["BenchmarkX"] = &observed{ns: 1100}
-	regressions, missing, warnings = check(guard, obs, 4.0)
+	regressions, missing, warnings, _ = check(guard, obs, mkVariants(obs), 4.0)
 	if len(regressions) != 0 || len(missing) != 0 {
 		t.Fatalf("regressions = %v, missing = %v, want none without -benchmem", regressions, missing)
 	}
@@ -112,7 +209,7 @@ func TestCheckMemoryOnlyGuardSkipsNs(t *testing.T) {
 	// observed ns/op as exceeding a zero baseline.
 	guard := map[string]guardEntry{"BenchmarkX": {BPerOp: 100}}
 	obs := map[string]*observed{"BenchmarkX": {ns: 123456, bytes: 90, allocs: 3, hasMem: true}}
-	regressions, missing, warnings := check(guard, obs, 4.0)
+	regressions, missing, warnings, _ := check(guard, obs, mkVariants(obs), 4.0)
 	if len(regressions) != 0 || len(missing) != 0 || len(warnings) != 0 {
 		t.Fatalf("regressions=%v missing=%v warnings=%v, want none", regressions, missing, warnings)
 	}
@@ -121,7 +218,7 @@ func TestCheckMemoryOnlyGuardSkipsNs(t *testing.T) {
 func TestCheckPassesAtBaseline(t *testing.T) {
 	guard := map[string]guardEntry{"BenchmarkX": {NsPerOp: 1000}}
 	obs := map[string]*observed{"BenchmarkX": {ns: 1000}}
-	regressions, missing, warnings := check(guard, obs, 4.0)
+	regressions, missing, warnings, _ := check(guard, obs, mkVariants(obs), 4.0)
 	if len(regressions) != 0 || len(missing) != 0 || len(warnings) != 0 {
 		t.Fatalf("regressions=%v missing=%v warnings=%v, want none", regressions, missing, warnings)
 	}

@@ -81,9 +81,21 @@ type Config struct {
 	// way, only matching throughput differs).
 	LinearMatch bool
 	// Workers bounds the goroutines used by the hierarchical
-	// distribution passes (0 selects GOMAXPROCS, 1 runs sequentially;
-	// placements are identical for any value).
+	// distribution passes — both the initial Distribute and Adapt's
+	// current-placement descent (0 selects GOMAXPROCS, 1 runs
+	// sequentially; placements are identical for any value).
 	Workers int
+	// SequentialAdapt forces Adapt's descent onto the sequential
+	// reference path even when Workers permits parallelism (used to
+	// isolate suspected descent-concurrency problems; placements are
+	// identical either way).
+	SequentialAdapt bool
+	// DisableSnapshotRouting turns off the brokers' lock-free snapshot
+	// route path, serializing every route under its broker's mutex
+	// against the live matching index (pubsub.SetSnapshotRouting). The
+	// sequential reference mode for debugging; routing decisions are
+	// identical, only concurrency differs. See CONCURRENCY.md.
+	DisableSnapshotRouting bool
 }
 
 // StreamDef declares a source stream.
@@ -488,6 +500,9 @@ func (m *Middleware) Start() error {
 	if m.cfg.LinearMatch {
 		net.SetLinearMatching(true)
 	}
+	if m.cfg.DisableSnapshotRouting {
+		net.SetSnapshotRouting(false)
+	}
 	m.net = net
 	// Sources advertise their streams; processors advertise the result
 	// streams they may create.
@@ -505,7 +520,7 @@ func (m *Middleware) Start() error {
 	m.optDim = len(m.subRates)
 	tree, err := hierarchy.Build(m.oracle, m.procs, nil, hierarchy.Config{
 		K: m.cfg.K, VMax: m.cfg.VMax, Alpha: m.cfg.Alpha, Seed: m.cfg.Seed,
-		Workers: m.cfg.Workers,
+		Workers: m.cfg.Workers, SequentialAdapt: m.cfg.SequentialAdapt,
 	})
 	if err != nil {
 		return err

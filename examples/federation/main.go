@@ -83,8 +83,14 @@ func experiment(disableSharing bool) (traffic, error) {
 	if err != nil {
 		return traffic{}, err
 	}
+	// Workers parallelizes the optimizer's distribution and adaptation
+	// passes across cores; tuple routing is concurrent regardless (the
+	// brokers' lock-free snapshot path, CONCURRENCY.md). Placements and
+	// deliveries are identical at any worker count — set
+	// SequentialAdapt/DisableSnapshotRouting to force the single-threaded
+	// reference modes when bisecting.
 	m, err := cosmos.New(g, processors, cosmos.Config{
-		K: 3, VMax: 30, DisableResultSharing: disableSharing,
+		K: 3, VMax: 30, Workers: 4, DisableResultSharing: disableSharing,
 	})
 	if err != nil {
 		return traffic{}, err

@@ -28,6 +28,17 @@
 // over-approximation; a genuinely safe site (e.g. a send on a mutex the
 // callee provably releases first) is annotated `//lint:lockdiscipline
 // <reason>`.
+//
+// The analyzer also enforces the snapshot write-once contract of the
+// RCU-style matching index. A type opts in with `// cosmoslint:snapshot`
+// on its declaration; any assignment that writes through a value of a
+// snapshot type (field set, map insert, slice-element store, append
+// rebind) is flagged unless the chain is rooted at a local variable that
+// the same function constructed from a snapshot composite literal — the
+// builder pattern: populate a fresh value, then publish it with one
+// atomic store. Calls such as ss.prune.Store(...) are method calls, not
+// assignments, so the deliberate atomic-cell exceptions inside snapshot
+// types stay quiet by construction.
 package lockdiscipline
 
 import (
@@ -43,7 +54,8 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "lockdiscipline",
 	Doc: "flag Peer sends, transport calls and Handler callbacks reachable " +
-		"while a cosmoslint:guards-annotated mutex is held",
+		"while a cosmoslint:guards-annotated mutex is held, and writes to " +
+		"cosmoslint:snapshot types outside their builders",
 	Run: run,
 }
 
@@ -56,6 +68,7 @@ var peerMethods = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
+	checkSnapshotWrites(pass)
 	guarded := findGuarded(pass)
 	if len(guarded) == 0 {
 		return nil
@@ -424,6 +437,174 @@ func clone(m map[*types.Var]token.Position) map[*types.Var]token.Position {
 		out[k] = v
 	}
 	return out
+}
+
+// checkSnapshotWrites enforces the write-once contract on types annotated
+// `// cosmoslint:snapshot`: after construction, a snapshot value is only
+// ever read. Writes through a snapshot-typed expression are allowed solely
+// when the chain is rooted at a local the same function created from a
+// snapshot composite literal (the builder filling a fresh value before the
+// atomic publish).
+func checkSnapshotWrites(pass *analysis.Pass) {
+	snap := findSnapshotTypes(pass)
+	if len(snap) == 0 {
+		return
+	}
+	typeOf := func(e ast.Expr) *types.TypeName {
+		t := pass.TypeOf(e)
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && snap[named.Obj()] {
+			return named.Obj()
+		}
+		return nil
+	}
+	// snapshotTarget walks an assignment LHS. It returns the snapshot type
+	// the write goes through (nil: not a snapshot write) and the chain's
+	// root identifier (nil when the root is not a plain identifier).
+	snapshotTarget := func(e ast.Expr) (*types.TypeName, *ast.Ident) {
+		var hit *types.TypeName
+		for {
+			e = ast.Unparen(e)
+			switch x := e.(type) {
+			case *ast.SelectorExpr:
+				if tn := typeOf(x.X); tn != nil && hit == nil {
+					hit = tn
+				}
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.Ident:
+				return hit, x
+			default:
+				return hit, nil
+			}
+		}
+	}
+	report := func(pos token.Pos, tn *types.TypeName) {
+		pass.Reportf(pos, "write through cosmoslint:snapshot type %s outside its builder: published snapshots are write-once — build a fresh value and republish, or annotate //lint:lockdiscipline", tn.Name())
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fresh := freshSnapshotLocals(pass, fd.Body, snap)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range x.Lhs {
+						tn, root := snapshotTarget(lhs)
+						if tn == nil {
+							continue
+						}
+						if root != nil && fresh[pass.ObjectOf(root)] {
+							continue
+						}
+						report(lhs.Pos(), tn)
+					}
+				case *ast.IncDecStmt:
+					if tn, root := snapshotTarget(x.X); tn != nil && (root == nil || !fresh[pass.ObjectOf(root)]) {
+						report(x.Pos(), tn)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// findSnapshotTypes collects the named types annotated with
+// `// cosmoslint:snapshot` on their declaration.
+func findSnapshotTypes(pass *analysis.Pass) map[types.Object]bool {
+	snap := map[types.Object]bool{}
+	has := func(cgs ...*ast.CommentGroup) bool {
+		for _, cg := range cgs {
+			if cg == nil {
+				continue
+			}
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, "cosmoslint:snapshot") {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if has(gd.Doc, ts.Doc, ts.Comment) {
+					if obj := pass.TypesInfo.Defs[ts.Name]; obj != nil {
+						snap[obj] = true
+					}
+				}
+			}
+		}
+	}
+	return snap
+}
+
+// freshSnapshotLocals collects the local variables a function initializes
+// from a snapshot composite literal (ds := &dirSnap{...}); writes rooted at
+// those are the builder filling its own value.
+func freshSnapshotLocals(pass *analysis.Pass, body *ast.BlockStmt, snap map[types.Object]bool) map[types.Object]bool {
+	isSnapLit := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			e = ast.Unparen(u.X)
+		}
+		cl, ok := e.(*ast.CompositeLit)
+		if !ok {
+			return false
+		}
+		t := pass.TypeOf(cl)
+		if named, ok := t.(*types.Named); ok {
+			return snap[named.Obj()]
+		}
+		return false
+	}
+	fresh := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, rhs := range x.Rhs {
+				if !isSnapLit(rhs) {
+					continue
+				}
+				if id, ok := ast.Unparen(x.Lhs[i]).(*ast.Ident); ok {
+					if obj := pass.ObjectOf(id); obj != nil {
+						fresh[obj] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range x.Values {
+				if i < len(x.Names) && isSnapLit(v) {
+					if obj := pass.ObjectOf(x.Names[i]); obj != nil {
+						fresh[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return fresh
 }
 
 // terminates reports whether a statement list always transfers control

@@ -16,7 +16,12 @@
 //     Constructors (New, NewPCG, NewSource, ...) stay quiet — building a
 //     seeded *rand.Rand is exactly the compliant pattern;
 //   - select statements with two or more ready-channel cases: the runtime
-//     picks uniformly at random, so the winner is schedule-dependent.
+//     picks uniformly at random, so the winner is schedule-dependent;
+//   - repeated .Load() method calls on the textually same atomic cell
+//     within one function (torn epoch): a writer may publish between the
+//     two loads, so decisions spanning them mix two snapshots. Load once
+//     and thread the value through (a function whose loads are genuinely
+//     independent — e.g. a retry loop — annotates //lint:nondeterminism).
 //
 // Target packages are the built-in seed-deterministic set below; a
 // package outside it opts in by carrying a `//cosmoslint:deterministic`
@@ -63,6 +68,11 @@ func run(pass *analysis.Pass) error {
 			}
 			return true
 		})
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkTornLoads(pass, fd)
+			}
+		}
 	}
 	return nil
 }
@@ -107,6 +117,59 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 		}
 		pass.Reportf(call.Pos(), "%s.%s draws from the process-global rand source: not seed-replayable — draw from a seeded *rand.Rand threaded through the config (or annotate //lint:nondeterminism)", fn.Pkg().Name(), fn.Name())
 	}
+}
+
+// checkTornLoads flags a function that calls the zero-argument Load method
+// twice (or more) on the textually same receiver chain — b.snap.Load() in
+// two places means two potentially different epochs feeding one decision.
+// Counting is per function declaration, nested literals included: a
+// goroutine body and its enclosing function publish and consume the same
+// cell, so splitting the loads across them does not untear them.
+func checkTornLoads(pass *analysis.Pass, fd *ast.FuncDecl) {
+	first := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 0 {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Load" {
+			return true
+		}
+		fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+		if !ok {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() == nil {
+			return true // only method-shaped loads are atomic cells
+		}
+		recv := selectorText(sel.X)
+		if recv == "" {
+			return true
+		}
+		if first[recv] {
+			pass.Reportf(call.Pos(), "second %s.Load() in %s: a writer may publish between the loads, mixing two epochs in one decision — load once and thread the snapshot through (or annotate //lint:nondeterminism)", recv, fd.Name.Name)
+			return true
+		}
+		first[recv] = true
+		return true
+	})
+}
+
+// selectorText renders a plain ident/selector chain ("b.snap"); any other
+// expression shape yields "" and is not tracked.
+func selectorText(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := selectorText(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	}
+	return ""
 }
 
 func checkSelect(pass *analysis.Pass, sel *ast.SelectStmt) {

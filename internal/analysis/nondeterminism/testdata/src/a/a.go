@@ -59,3 +59,55 @@ func singleCaseSelect(a chan int) int {
 		return 0
 	}
 }
+
+type cell[T any] struct{ v *T }
+
+func (c *cell[T]) Load() *T { return c.v }
+
+type holder struct {
+	snap cell[int]
+	aux  cell[int]
+}
+
+// tornEpoch loads the same atomic cell twice: the decision spans two
+// potentially different epochs.
+func tornEpoch(h *holder) int {
+	a := h.snap.Load()
+	b := h.snap.Load() // want `second h\.snap\.Load\(\) in tornEpoch`
+	if a == nil || b == nil {
+		return 0
+	}
+	return *a + *b
+}
+
+// tornAcrossClosure splits the loads across a function literal — still the
+// same cell feeding one function's logic.
+func tornAcrossClosure(h *holder) func() int {
+	a := h.snap.Load()
+	return func() int {
+		if b := h.snap.Load(); b != nil { // want `second h\.snap\.Load\(\) in tornAcrossClosure`
+			return *b
+		}
+		_ = a
+		return 0
+	}
+}
+
+// singleLoadEach is the compliant shape: one load per cell, threaded
+// through; distinct cells are independent.
+func singleLoadEach(h *holder) int {
+	a := h.snap.Load()
+	b := h.aux.Load()
+	if a == nil || b == nil {
+		return 0
+	}
+	return *a + *b
+}
+
+// loadFunction calls a package-level function named Load, not an atomic
+// method: not tracked.
+func Load() int { return 1 }
+
+func loadFunction() int {
+	return Load() + Load()
+}

@@ -1,28 +1,3 @@
-// Package chaos wraps a pub/sub overlay's links with a seeded, deterministic
-// fault injector. It intercepts the five protocol messages (advert,
-// unadvert, propagate, retract, route) on their way into a broker and
-// subjects each to a per-link fate draw: deliver, drop, duplicate, or delay
-// (reorder past later traffic). Whole brokers can be crashed (all incident
-// links blackhole) and individual links partitioned.
-//
-// The injector exists to attack the epoch machinery's idempotence claims:
-//
-//   - DUPLICATION and DELAY of control messages are survivable in place —
-//     per-(stream,origin) advert epochs, subscription sequence numbers and
-//     the reorder tombstones absorb adjacent duplicates and reordered
-//     stale copies without residue. Equivalence with a fault-free run is
-//     the test oracle (see TestChaosControlFaultEquivalence).
-//
-//   - DROP, PARTITION and CRASH are silent loss. Loss is NOT survivable in
-//     place: the overlay only reconverges when the loss window is followed
-//     by the teardown+resync path (Network.FailLink / Network.RemoveBroker
-//     plus re-attach), which withdraws everything learned via the faulty
-//     link and replays surviving state. Schedules must pair every loss
-//     window with a repair, with the injector Paused during the repair so
-//     membership-change floods are not themselves faulted.
-//
-// Everything is driven by a single PCG stream seeded from Config.Seed: the
-// same seed over the same event sequence yields the same fault schedule.
 package chaos
 
 import (

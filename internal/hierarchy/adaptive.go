@@ -3,6 +3,7 @@ package hierarchy
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/adapt"
 	"repro/internal/mapping"
@@ -63,7 +64,17 @@ func (t *Tree) Adapt(loadOf func(name string) float64) (*AdaptReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := t.descendCurrent(t.Root, rootIncoming, false, true, false); err != nil {
+	// Downward pass against the current placement. Sibling subtrees are
+	// independent — shares are disjoint, per-coordinator RNGs are
+	// self-seeded, and the warm-start reads of t.placement touch only the
+	// descending subtree's own (pre-round) entries — so the recursion fans
+	// out over bounded workers exactly like Distribute's descent, unless
+	// the sequential reference path is forced (Config.SequentialAdapt).
+	var sem chan struct{}
+	if t.Cfg.Workers > 1 && !t.Cfg.SequentialAdapt {
+		sem = make(chan struct{}, t.Cfg.Workers-1)
+	}
+	if err := t.descendCurrent(t.Root, rootIncoming, false, true, false, sem); err != nil {
 		return nil, err
 	}
 
@@ -99,7 +110,13 @@ func (t *Tree) SetLoadEstimator(loadOf func(name string) float64) {
 // without it the warm assignment is installed verbatim (placement
 // restoration). With pure, coarsening only merges vertices placed on the
 // same processor so the current placement is preserved exactly.
-func (t *Tree) descendCurrent(c *Coordinator, incoming []*querygraph.Vertex, useStored, rebalance, pure bool) error {
+//
+// With a non-nil sem, sibling subtrees recurse concurrently over the
+// semaphore's worker slots (same bounded fan-out as Distribute's descend);
+// the shared tree maps (placement, queries) are then guarded by placeMu in
+// the helpers that touch them, and everything else a branch writes is
+// per-coordinator state of its own subtree.
+func (t *Tree) descendCurrent(c *Coordinator, incoming []*querygraph.Vertex, useStored, rebalance, pure bool, sem chan struct{}) error {
 	var g *querygraph.Graph
 	var assign mapping.Assignment
 	var fineShares func(res mapping.Assignment) ([][]*querygraph.Vertex, error)
@@ -225,6 +242,7 @@ func (t *Tree) descendCurrent(c *Coordinator, incoming []*querygraph.Vertex, use
 		return err
 	}
 	if c.IsLeaf() {
+		t.placeMu.Lock()
 		for k, share := range shares {
 			proc := c.ng.Vertices[k].Node
 			for _, v := range share {
@@ -233,33 +251,75 @@ func (t *Tree) descendCurrent(c *Coordinator, incoming []*querygraph.Vertex, use
 				}
 			}
 		}
+		t.placeMu.Unlock()
 		return nil
 	}
+	if sem == nil {
+		for k, share := range shares {
+			if err := t.descendCurrent(c.Children[k], share, false, rebalance, pure, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	record := func(err error) {
+		if err == nil {
+			return
+		}
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
 	for k, share := range shares {
-		if err := t.descendCurrent(c.Children[k], share, false, rebalance, pure); err != nil {
-			return err
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func(k int, share []*querygraph.Vertex) {
+				defer wg.Done()
+				err := t.descendCurrent(c.Children[k], share, false, rebalance, pure, sem)
+				<-sem
+				record(err)
+			}(k, share)
+		default:
+			// No free worker slot: recurse inline rather than blocking.
+			record(t.descendCurrent(c.Children[k], share, false, rebalance, pure, sem))
 		}
 	}
-	return nil
+	wg.Wait()
+	return firstErr
 }
 
 // samePlacedProc reports whether two query-bearing vertices are currently
 // placed on the same processor (pure n-vertices merge freely). Because it
 // is applied at every coarsening step, vertices stay placement-pure by
-// induction and checking the first constituent suffices.
+// induction and checking the first constituent suffices. placeMu guards the
+// map read against concurrent leaf installs in sibling subtrees; the
+// entries read here belong to this subtree and are stable for the round.
 func (t *Tree) samePlacedProc(u, v *querygraph.Vertex) bool {
 	if len(u.Queries) == 0 || len(v.Queries) == 0 {
 		return true
 	}
+	t.placeMu.Lock()
 	pu, okU := t.placement[u.Queries[0].Name]
 	pv, okV := t.placement[v.Queries[0].Name]
+	t.placeMu.Unlock()
 	return okU && okV && pu == pv
 }
 
 // warmTarget returns the target index at c where the vertex's constituent
 // queries currently live (load-weighted majority), or -1 when unknown.
+// placeMu guards the placement reads during the parallel descent; a
+// subtree's warm reads only ever see its own pre-round entries, so the
+// result does not depend on sibling progress.
 func (t *Tree) warmTarget(c *Coordinator, v *querygraph.Vertex) int {
 	weights := make(map[int]float64)
+	t.placeMu.Lock()
+	defer t.placeMu.Unlock()
 	for _, q := range v.Queries {
 		proc, ok := t.placement[q.Name]
 		if !ok {
@@ -283,11 +343,16 @@ func (t *Tree) warmTarget(c *Coordinator, v *querygraph.Vertex) int {
 }
 
 // refreshWeights re-estimates q-vertex weights from the installed load
-// estimator (§3.8). Without an estimator, recorded loads are kept.
+// estimator (§3.8). Without an estimator, recorded loads are kept. The
+// whole body runs under placeMu: it writes the shared t.queries map and
+// calls the user-supplied estimator, which must not observe concurrent
+// invocations from sibling subtrees.
 func (t *Tree) refreshWeights(g *querygraph.Graph) {
 	if t.loadOf == nil {
 		return
 	}
+	t.placeMu.Lock()
+	defer t.placeMu.Unlock()
 	for _, v := range g.Vertices {
 		if v == nil || len(v.Queries) == 0 {
 			continue

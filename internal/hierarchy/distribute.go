@@ -135,7 +135,7 @@ func (t *Tree) DistributeWith(queries []querygraph.QueryInfo, subRates []float64
 	if err != nil {
 		return err
 	}
-	return t.descendCurrent(t.Root, rootIncoming, false, false, true)
+	return t.descendCurrent(t.Root, rootIncoming, false, false, true, nil)
 }
 
 // upwardPass runs the bottom-up query-graph hierarchy construction (§3.4).

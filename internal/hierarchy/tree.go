@@ -36,12 +36,19 @@ type Config struct {
 	// Seed drives all randomized choices deterministically.
 	Seed uint64
 	// Workers bounds the goroutines used to run independent coordinators
-	// concurrently during distribution (upward coarsening per level,
-	// downward descent per sibling subtree). 0 selects GOMAXPROCS; 1
-	// runs fully sequentially. Placements are identical for any value:
-	// every per-coordinator computation is seeded independently and
-	// results are combined in a fixed order.
+	// concurrently during distribution and adaptation (upward coarsening
+	// per level, downward descent per sibling subtree — Distribute's and
+	// Adapt's alike). 0 selects GOMAXPROCS; 1 runs fully sequentially.
+	// Placements are identical for any value: every per-coordinator
+	// computation is seeded independently and results are combined in a
+	// fixed order.
 	Workers int
+	// SequentialAdapt forces Adapt's downward descent onto the
+	// sequential reference path regardless of Workers (Distribute's
+	// descent keeps its own Workers-driven fan-out). Placements are
+	// identical either way; the switch exists to isolate suspected
+	// descent-concurrency problems while debugging.
+	SequentialAdapt bool
 }
 
 func (c Config) withDefaults() Config {

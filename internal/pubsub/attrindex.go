@@ -40,9 +40,12 @@ import (
 // to the full posting list, exactly as before.
 //
 // The index is rebuilt lazily: add/remove invalidate the affected stream's
-// entry and the first route through the stream rebuilds it under the broker
-// lock (the structure never leaves the lock, so no copy-on-write is needed
-// — unlike the projection unions, which are handed to in-flight hops).
+// entry and the first route through it rebuilds it — under the broker lock
+// on the locked reference path (dirIndex.attrIndex), or lock-free per
+// snapshot epoch on the snapshot path (streamSnap.pruneIndex, which relies
+// on buildAttrPruneIndex being a pure function of the frozen posting list).
+// A built index is immutable either way; invalidation replaces, never
+// mutates.
 
 // pruneMin is the posting-list population below which the prune index is
 // not built: selection and merge overhead beats a handful of direct
@@ -188,16 +191,36 @@ func stabTree(entries []ivEntry, maxUp []query.Interval, l, r int, v float64, ou
 
 // prunedCandidates selects the posting-list positions worth evaluating for
 // t against d's posting list of t.Stream, in ascending (registration)
-// order. ok reports whether pruning applies; when false the caller scans
-// the full posting list (small populations, no usable constrained
-// attribute, or an estimated yield too close to the full population to pay
-// for the merge). The returned slice aliases broker scratch and is valid
-// until the next call; the caller holds b.mu.
-func (b *Broker) prunedCandidates(d *dirIndex, t stream.Tuple, cands []*compiledSub) ([]int32, bool) {
+// order — the locked-path wrapper over pruneSelect, using the live
+// dirIndex's cached prune index. ok reports whether pruning applies; when
+// false the caller scans the full posting list. The returned slice aliases
+// bufs scratch and is valid until the next call; the caller holds b.mu.
+func (b *Broker) prunedCandidates(d *dirIndex, t stream.Tuple, cands []*compiledSub, bufs *routeBufs) ([]int32, bool) {
 	if b.noPrune || len(cands) < pruneMin {
 		return nil, false
 	}
-	ai := d.attrIndex(t.Stream)
+	return pruneSelect(d.attrIndex(t.Stream), t, len(cands), bufs)
+}
+
+// prunedSnapCandidates is the snapshot-path wrapper: same selection over
+// the epoch's frozen posting list, with the prune index built lazily per
+// epoch (streamSnap.pruneIndex) instead of cached on the live dirIndex.
+// Runs without the broker lock; scratch lives in the caller's pooled bufs.
+func prunedSnapCandidates(ss *streamSnap, t stream.Tuple, noPrune bool, bufs *routeBufs) ([]int32, bool) {
+	if noPrune || len(ss.cands) < pruneMin {
+		return nil, false
+	}
+	return pruneSelect(ss.pruneIndex(), t, len(ss.cands), bufs)
+}
+
+// pruneSelect picks the most selective constrained attribute of the tuple
+// and stabs its interval tree, returning the positions worth evaluating in
+// ascending (registration) order. ok is false when no usable constrained
+// attribute exists or the estimated yield is too close to the full
+// population (nCands) to pay for the merge. Pure with respect to ai — it
+// writes only into bufs — so it serves both the locked path (under b.mu)
+// and the lock-free snapshot path.
+func pruneSelect(ai *attrPruneIndex, t stream.Tuple, nCands int, bufs *routeBufs) ([]int32, bool) {
 	if ai == nil {
 		return nil, false
 	}
@@ -225,7 +248,7 @@ func (b *Broker) prunedCandidates(d *dirIndex, t stream.Tuple, cands []*compiled
 			best, bestEst, bestAbsent = i, est, absent
 		}
 	}
-	if best < 0 || 2*bestEst >= len(cands) {
+	if best < 0 || 2*bestEst >= nCands {
 		return nil, false
 	}
 	a := &ai.attrs[best]
@@ -233,14 +256,14 @@ func (b *Broker) prunedCandidates(d *dirIndex, t stream.Tuple, cands []*compiled
 		return a.rest, true
 	}
 	v, _ := t.Get(a.attr)
-	stab := stabTree(a.entries, a.maxUp, 0, len(a.entries), v.F, b.stabScratch[:0])
-	b.stabScratch = stab
+	stab := stabTree(a.entries, a.maxUp, 0, len(a.entries), v.F, bufs.stab[:0])
+	bufs.stab = stab
 	// Restore posting-list order. The tree emits lower-bound order, which
 	// correlates with registration order only by accident, so this must
 	// not assume near-sortedness (slices.Sort is O(k log k) regardless).
 	slices.Sort(stab)
-	sel := mergePos(stab, a.rest, b.selScratch[:0])
-	b.selScratch = sel
+	sel := mergePos(stab, a.rest, bufs.sel[:0])
+	bufs.sel = sel
 	return sel, true
 }
 

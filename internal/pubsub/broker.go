@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/query"
 	"repro/internal/stream"
@@ -144,13 +145,20 @@ type Broker struct {
 	// first-generation indexed matcher, kept selectable as the
 	// pruned-path baseline for benchmarks.
 	noPrune bool
-	// matchScratch collects per-neighbor matched candidates under mu,
-	// avoiding a per-tuple allocation on the indexed path; stabScratch
-	// and selScratch back the prune index's stab and merged-selection
-	// sets the same way.
-	matchScratch []*compiledSub
-	stabScratch  []int32
-	selScratch   []int32
+	// snap is the published matching-state epoch the lock-free route path
+	// reads (snapshot.go, CONCURRENCY.md): rebuilt incrementally and
+	// swapped by publishLocked at the end of every mutating critical
+	// section. nil routes through the locked reference path — before the
+	// first publish, in linear mode, and when snapOff is set.
+	snap atomic.Pointer[matchSnapshot]
+	// snapAll forces the next publish to rebuild the snapshot from
+	// scratch instead of patching dirty streams — set when the neighbor
+	// set or a matching mode changes (state the dirty marks don't cover).
+	snapAll bool
+	// snapOff disables snapshot routing (SetSnapshotRouting(false)): the
+	// published epoch is dropped and every route takes the locked
+	// sequential path — the debugging/reference mode, like linearMatch.
+	snapOff bool
 	// seq numbers the subscription epochs originated by this broker's
 	// clients: each Subscribe stamps the next value, so a re-subscribe
 	// of a reused ID supersedes the records (and outruns stale
@@ -189,6 +197,8 @@ type advKey struct {
 func (b *Broker) SetLinearMatching(on bool) {
 	b.mu.Lock()
 	b.linearMatch = on
+	b.snapAll = true
+	b.publishLocked()
 	b.mu.Unlock()
 }
 
@@ -199,6 +209,23 @@ func (b *Broker) SetLinearMatching(on bool) {
 func (b *Broker) SetAttrPruning(on bool) {
 	b.mu.Lock()
 	b.noPrune = !on
+	b.snapAll = true
+	b.publishLocked()
+	b.mu.Unlock()
+}
+
+// SetSnapshotRouting switches the lock-free snapshot route path (on by
+// default). With it off every route serializes under the broker mutex
+// against the live index — the sequential reference mode, useful when
+// debugging a suspected snapshot-staleness or publish-ordering problem
+// (decisions then always reflect the index at the instant of the route).
+// Both modes produce identical decisions in any single-threaded execution;
+// see CONCURRENCY.md for what concurrent executions may reorder.
+func (b *Broker) SetSnapshotRouting(on bool) {
+	b.mu.Lock()
+	b.snapOff = !on
+	b.snapAll = true
+	b.publishLocked()
 	b.mu.Unlock()
 }
 
@@ -259,6 +286,7 @@ func (b *Broker) Unadvertise(streamName string) {
 	// any direction may have been pulled here solely by it (rule b); no
 	// per-direction advert entry changed, so no sentTo pruning (rule a).
 	resend := b.pruneAdvertLocked(streamName, -1, false)
+	b.publishLocked()
 	b.mu.Unlock()
 	for _, n := range neighbors {
 		b.net.CountControl(b.Node, n, advertSize)
@@ -407,6 +435,7 @@ func (b *Broker) unadvertFrom(from topology.NodeID, streamName string, origin to
 	if lastOrigin {
 		resend = b.pruneAdvertLocked(streamName, from, true)
 	}
+	b.publishLocked()
 	b.mu.Unlock()
 	for _, n := range neighbors {
 		if n != from {
@@ -490,9 +519,10 @@ func (b *Broker) pruneAdvertLocked(streamName string, withdrawnDir topology.Node
 		}
 	}
 	// rule (b): orphaned records, per direction in ascending order. The
-	// orphans are collected BEFORE any removal: d.remove splices the live
-	// d.byStream slice, so interleaving it into the scan would skip
-	// records.
+	// orphans are collected BEFORE any removal: d.remove replaces the
+	// d.byStream posting list (copy-on-remove, see index.go), so a scan
+	// interleaved with removals would walk a stale alias and re-decide
+	// against records already gone.
 	for _, a := range b.idx.dirOrder {
 		if a == withdrawnDir {
 			// The withdrawn direction's own records are justified by
@@ -637,6 +667,7 @@ func (b *Broker) Subscribe(sub *Subscription, h Handler) error {
 	c.regSeq = b.recCount
 	c.sentTo = make(map[topology.NodeID]bool)
 	b.idx.locals.add(c)
+	b.publishLocked()
 	b.mu.Unlock()
 	b.propagate(sub, -1)
 	return nil
@@ -681,6 +712,7 @@ func (b *Broker) Unsubscribe(id string) {
 		sortCovEdges(edges)
 	}
 	resend := b.unsuppressLocked(streams, targets, edges)
+	b.publishLocked()
 	b.mu.Unlock()
 	for _, n := range targets {
 		b.net.CountControl(b.Node, n, retractSize)
@@ -729,6 +761,7 @@ func (b *Broker) retractFrom(from topology.NodeID, id string, seq uint64) {
 		}
 	}
 	resend := b.unsuppressLocked(streams, targets, edges)
+	b.publishLocked()
 	b.mu.Unlock()
 	for _, n := range targets {
 		b.net.CountControl(b.Node, n, retractSize)
@@ -921,6 +954,9 @@ func (b *Broker) propagate(sub *Subscription, from topology.NodeID) {
 			if superseded {
 				resend = b.unsuppressLocked(supStreams, supTargets, supEdges)
 			}
+			// The superseded record's removal (if any) must reach the
+			// published epoch even though nothing was installed.
+			b.publishLocked()
 			b.mu.Unlock()
 			b.sendPends(resend)
 			return
@@ -970,6 +1006,7 @@ func (b *Broker) propagate(sub *Subscription, from topology.NodeID) {
 	if superseded {
 		resend = b.unsuppressLocked(supStreams, supTargets, supEdges)
 	}
+	b.publishLocked()
 	b.mu.Unlock()
 	for _, n := range targets {
 		b.net.CountControl(b.Node, n, subSize(sub))
@@ -1050,41 +1087,62 @@ type hop struct {
 	attrs map[string]bool // nil = all
 }
 
-// routeBufs are the per-route-call delivery and hop buffers, pooled so the
-// steady-state route path allocates neither slice. They cannot live on the
-// broker: handlers are free to call back into the broker (a nested route
-// pops its own buffers from the pool).
+// routeBufs are the per-route-call matching buffers, pooled so the
+// steady-state route path allocates none of them. They cannot live on the
+// broker: the snapshot path runs without the broker lock, so concurrent
+// routes each need their own scratch (and handlers are free to call back
+// into the broker — a nested route pops its own buffers from the pool).
 type routeBufs struct {
 	locals []delivery
 	hops   []hop
+	// match collects per-direction matched candidates; stab and sel back
+	// the prune index's stab and merged-selection sets (attrindex.go).
+	match []*compiledSub
+	stab  []int32
+	sel   []int32
 }
 
 var routeBufPool = sync.Pool{New: func() any { return new(routeBufs) }}
 
 // route delivers the tuple locally and forwards it once per interested
 // neighbor, projecting the payload down to the union of downstream
-// attribute interests (early projection, §2). Matching runs on the inverted
-// index (matchIndexed, with attribute-level candidate pruning unless
-// disabled) or on the retained linear reference (matchLinear); the paths
-// produce identical decisions.
+// attribute interests (early projection, §2). Matching normally runs
+// lock-free against the published snapshot epoch (matchSnap, snapshot.go),
+// so concurrent routes proceed in parallel; when no epoch is published
+// (linear mode, SetSnapshotRouting(false), or a broker that never churned)
+// it serializes under the mutex on the live index (matchIndexed with
+// attribute-level candidate pruning unless disabled, or the retained
+// linear reference matchLinear). All paths produce identical decisions.
 func (b *Broker) route(t stream.Tuple, from topology.NodeID) {
 	bufs := routeBufPool.Get().(*routeBufs)
 	locals, hops := bufs.locals[:0], bufs.hops[:0]
-	b.mu.Lock()
-	if from >= 0 && !b.neighborLocked(from) {
-		// Data from a torn-down link: no routing state references the
-		// direction anymore, so the tuple is dropped (at-most-once data
-		// delivery; the repaired overlay routes fresh traffic).
-		b.mu.Unlock()
-		routeBufPool.Put(bufs)
-		return
-	}
-	if b.linearMatch {
-		locals, hops = b.matchLinear(t, from, locals, hops)
+	if snap := b.snap.Load(); snap != nil {
+		if from >= 0 && !nodeIn(snap.neighbors, from) {
+			// Data from a torn-down link (as of this epoch): dropped, the
+			// same at-most-once stance as the locked path below. A route
+			// racing the detach may read the pre-detach epoch and accept —
+			// that is the linearization where the route happened first.
+			routeBufPool.Put(bufs)
+			return
+		}
+		locals, hops = matchSnap(snap, t, from, bufs, locals, hops)
 	} else {
-		locals, hops = b.matchIndexed(t, from, locals, hops)
+		b.mu.Lock()
+		if from >= 0 && !b.neighborLocked(from) {
+			// Data from a torn-down link: no routing state references the
+			// direction anymore, so the tuple is dropped (at-most-once data
+			// delivery; the repaired overlay routes fresh traffic).
+			b.mu.Unlock()
+			routeBufPool.Put(bufs)
+			return
+		}
+		if b.linearMatch {
+			locals, hops = b.matchLinear(t, from, locals, hops)
+		} else {
+			locals, hops = b.matchIndexed(t, from, bufs, locals, hops)
+		}
+		b.mu.Unlock()
 	}
-	b.mu.Unlock()
 
 	// Local deliveries run first, in subscription-registration order,
 	// outside the lock so handlers are free to call back into the broker.
@@ -1114,7 +1172,8 @@ func (b *Broker) route(t stream.Tuple, from topology.NodeID) {
 	}
 	clear(locals) // drop handler/sub/map references before pooling
 	clear(hops)
-	bufs.locals, bufs.hops = locals[:0], hops[:0]
+	clear(bufs.match) // and the candidate records the match scratch held
+	bufs.locals, bufs.hops, bufs.match = locals[:0], hops[:0], bufs.match[:0]
 	routeBufPool.Put(bufs)
 }
 
@@ -1176,9 +1235,9 @@ func (b *Broker) matchLinear(t stream.Tuple, from topology.NodeID, locals []deli
 // skips only candidates whose exact matcher would reject the tuple anyway,
 // so deliveries, forwarding decisions and projections are identical with
 // pruning on or off (and identical to matchLinear).
-func (b *Broker) matchIndexed(t stream.Tuple, from topology.NodeID, locals []delivery, hops []hop) ([]delivery, []hop) {
+func (b *Broker) matchIndexed(t stream.Tuple, from topology.NodeID, bufs *routeBufs, locals []delivery, hops []hop) ([]delivery, []hop) {
 	lcands := b.idx.locals.byStream[t.Stream]
-	if sel, ok := b.prunedCandidates(b.idx.locals, t, lcands); ok {
+	if sel, ok := b.prunedCandidates(b.idx.locals, t, lcands, bufs); ok {
 		for _, p := range sel {
 			if c := lcands[p]; c.handler != nil && c.matches(t) {
 				locals = append(locals, delivery{h: c.handler, sub: c.sub, keep: c.keep})
@@ -1203,9 +1262,9 @@ func (b *Broker) matchIndexed(t stream.Tuple, from topology.NodeID, locals []del
 		if len(cands) == 0 {
 			continue
 		}
-		matched := b.matchScratch[:0]
+		matched := bufs.match[:0]
 		all := false
-		if sel, ok := b.prunedCandidates(d, t, cands); ok {
+		if sel, ok := b.prunedCandidates(d, t, cands, bufs); ok {
 			for _, p := range sel {
 				c := cands[p]
 				if !c.matches(t) {
@@ -1229,7 +1288,7 @@ func (b *Broker) matchIndexed(t stream.Tuple, from topology.NodeID, locals []del
 				matched = append(matched, c)
 			}
 		}
-		b.matchScratch = matched // retain grown capacity for the next tuple
+		bufs.match = matched // retain grown capacity for the next direction
 		var wanted map[string]bool
 		switch {
 		case all:
@@ -1298,6 +1357,8 @@ func (b *Broker) AddNeighbor(n topology.NodeID) {
 		}
 	}
 	b.neighbors = append(b.neighbors, n)
+	b.snapAll = true // the epoch's frozen neighbor set must grow too
+	b.publishLocked()
 }
 
 // neighborLocked reports whether n is a current overlay neighbor. Caller
@@ -1398,6 +1459,8 @@ func (b *Broker) DetachNeighbor(gone topology.NodeID) {
 	}
 	delete(b.unadvTomb, gone)
 	b.idx.dropDir(gone)
+	b.snapAll = true // neighbor set and direction map both shrank
+	b.publishLocked()
 	b.mu.Unlock()
 }
 

@@ -1,0 +1,48 @@
+// Package pubsub implements the content-based Publish/Subscribe substrate
+// COSMOS is built on (§1.2, §2): a Siena-style broker overlay where data
+// sources advertise streams, consumers subscribe with content filters, and
+// messages are routed hop by hop so that (1) a message crosses each overlay
+// link at most once, (2) messages are filtered as early as possible on the
+// way to interested parties, and (3) unnecessary attributes are projected
+// away as early as possible. Per-link traffic is accounted so experiments
+// can measure weighted communication cost on the overlay.
+//
+// The package splits into four layers, roughly one file group each:
+//
+//   - The protocol (broker.go, subscription.go): Broker implements the five
+//     peer messages — AdvertFrom, UnadvertFrom, PropagateFrom, RetractFrom,
+//     RouteFrom — plus the client surface (Advertise, Subscribe,
+//     Unsubscribe, Publish). Subscriptions carry epoch sequence numbers and
+//     propagation records; adverts are epoch-stamped per (stream, origin).
+//     Covering relations suppress redundant propagation, and every
+//     lifecycle transition (retraction, withdrawal, crash teardown)
+//     re-decides exactly the suppressions it released.
+//
+//   - The matching engine (index.go, attrindex.go, compile.go): per
+//     direction, stream → posting-list indexes with compiled per-attribute
+//     filter intervals, incremental projection unions, and attribute-level
+//     candidate pruning via stabbing trees over the most selective
+//     constrained attribute. The linear matcher (matchLinear) is the
+//     retained reference; randomized equivalence suites hold every indexed
+//     path bit-identical to it.
+//
+//   - The concurrency layer (snapshot.go): churn operations mutate the
+//     index under Broker.mu and publish an immutable matchSnapshot epoch
+//     behind one atomic pointer; Broker.route matches lock-free against
+//     the loaded epoch, so concurrent publishes never block on churn. The
+//     memory model — the sharing discipline, the write-once contract and
+//     its static enforcement — is specified in CONCURRENCY.md at the repo
+//     root. SetSnapshotRouting(false) restores the serialized reference
+//     path.
+//
+//   - The overlay (network.go): Network wires Brokers over an in-process
+//     Fabric (or, via PeerWrapper, a fault-injecting or TCP one), owns
+//     membership (AddBroker, RemoveBroker, FailLink and the deterministic
+//     re-attach repair), and aggregates traffic into TrafficReports.
+//
+// Delivered tuples are read-only by contract: a Handler must not mutate
+// the tuple it receives (full-tuple deliveries share one attribute-map
+// copy per routed tuple). Handlers may freely call back into the broker —
+// every callback and peer send happens outside Broker.mu, a discipline
+// enforced statically by cosmoslint's lockdiscipline analyzer (LINT.md).
+package pubsub

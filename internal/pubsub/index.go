@@ -38,6 +38,14 @@ import (
 // attribute sets, and therefore identical traffic counters (enforced by the
 // package equivalence tests, the same discipline as
 // querygraph.ComputeEdgesNaive).
+//
+// The index also feeds the lock-free snapshot read path (snapshot.go):
+// add/remove mark the touched streams in dirtySnap so publishLocked can
+// re-freeze only those, and remove REPLACES a posting list with a fresh
+// copy instead of splicing it in place — published snapshots alias the
+// byStream slices, and an in-place splice would mutate an epoch a
+// lock-free route is reading. add may append in place: it writes only at
+// indexes beyond every published snapshot's length. See CONCURRENCY.md.
 
 // matchIndex is one broker's routing state: one dirIndex per neighbor
 // direction plus one for local client subscriptions.
@@ -117,6 +125,10 @@ type dirIndex struct {
 	// whole direction — the dominant cost of a subscribe/unsubscribe
 	// cycle against a large stable population.
 	byID map[string][]*compiledSub
+	// dirtySnap marks the streams whose posting list or union changed
+	// since the last snapshot publish, so publishLocked re-freezes only
+	// those (snapshot.go). Maintained by add/remove, drained by snapDir.
+	dirtySnap map[string]bool
 }
 
 func newDirIndex() *dirIndex {
@@ -126,6 +138,7 @@ func newDirIndex() *dirIndex {
 		retracted: make(map[string]uint64),
 		aidx:      make(map[string]*attrPruneIndex),
 		byID:      make(map[string][]*compiledSub),
+		dirtySnap: make(map[string]bool),
 	}
 }
 
@@ -155,6 +168,7 @@ func (d *dirIndex) add(c *compiledSub) {
 		d.byStream[s] = append(d.byStream[s], c)
 		d.union[s] = d.union[s].extend(c.keep)
 		delete(d.aidx, s)
+		d.dirtySnap[s] = true
 	}
 }
 
@@ -173,7 +187,10 @@ func (d *dirIndex) find(id string) *compiledSub {
 // remove deletes one record, keeping posting lists in registration order
 // and recomputing the projection unions of the affected streams. Posting
 // lists and unions of streams no longer subscribed are deleted outright, so
-// an idle broker's routing tables drain to empty.
+// an idle broker's routing tables drain to empty. The surviving posting
+// list is a FRESH slice, not an in-place splice: published snapshots alias
+// the old one (snapshot.go's sharing discipline), so it must stay intact
+// until its epoch is swapped out.
 func (d *dirIndex) remove(c *compiledSub) {
 	for i, x := range d.subs {
 		if x == c {
@@ -200,20 +217,21 @@ func (d *dirIndex) remove(c *compiledSub) {
 		}
 		seen[s] = true
 		delete(d.aidx, s)
+		d.dirtySnap[s] = true
 		list := d.byStream[s]
-		for i, x := range list {
-			if x == c {
-				list = append(list[:i], list[i+1:]...)
-				break
+		fresh := make([]*compiledSub, 0, len(list))
+		for _, x := range list {
+			if x != c {
+				fresh = append(fresh, x)
 			}
 		}
-		if len(list) == 0 {
+		if len(fresh) == 0 {
 			delete(d.byStream, s)
 			delete(d.union, s)
 			continue
 		}
-		d.byStream[s] = list
-		d.union[s] = unionOf(list)
+		d.byStream[s] = fresh
+		d.union[s] = unionOf(fresh)
 	}
 }
 

@@ -19,10 +19,11 @@ type Network struct {
 
 	mu      sync.Mutex
 	brokers map[topology.NodeID]*Broker
-	// linear and noPrune record the matcher mode so dynamically joined
-	// brokers (AddBroker) inherit it.
+	// linear, noPrune and snapOff record the matcher modes so dynamically
+	// joined brokers (AddBroker) inherit them.
 	linear  bool
 	noPrune bool
+	snapOff bool
 	// latency of each overlay link, keyed by ordered pair.
 	links map[[2]topology.NodeID]float64
 	// traffic in bytes per overlay link.
@@ -143,13 +144,16 @@ func (net *Network) AddBroker(n topology.NodeID) *Broker {
 	net.brokers[n] = b
 	net.addLink(attach, n, best)
 	attachBroker := net.brokers[attach]
-	lin, noPrune := net.linear, net.noPrune
+	lin, noPrune, snapOff := net.linear, net.noPrune, net.snapOff
 	net.mu.Unlock()
 	if lin {
 		b.SetLinearMatching(true)
 	}
 	if noPrune {
 		b.SetAttrPruning(false)
+	}
+	if snapOff {
+		b.SetSnapshotRouting(false)
 	}
 	attachBroker.syncAdvertsTo(n)
 	return b
@@ -540,6 +544,24 @@ func (net *Network) SetAttrPruning(on bool) {
 	net.mu.Unlock()
 	for _, b := range brokers {
 		b.SetAttrPruning(on)
+	}
+}
+
+// SetSnapshotRouting flips the lock-free snapshot route path on every
+// broker (see Broker.SetSnapshotRouting). On by default; off serializes
+// every route under its broker's mutex against the live index — the
+// sequential debugging/reference mode.
+func (net *Network) SetSnapshotRouting(on bool) {
+	net.mu.Lock()
+	net.snapOff = !on
+	brokers := make([]*Broker, 0, len(net.brokers))
+	for _, b := range net.brokers {
+		//lint:maporder each broker gets one independent flag write; visit order is unobservable
+		brokers = append(brokers, b)
+	}
+	net.mu.Unlock()
+	for _, b := range brokers {
+		b.SetSnapshotRouting(on)
 	}
 }
 

@@ -39,10 +39,11 @@ func TestPrunedCandidateSuperset(t *testing.T) {
 			b.idx.locals.add(c)
 		}
 		cands := b.idx.locals.byStream["R"]
+		bufs := new(routeBufs)
 		for trial := 0; trial < 40; trial++ {
 			tup := eqRandomTuple(r)
 			tup.Stream = "R"
-			sel, ok := b.prunedCandidates(b.idx.locals, tup, cands)
+			sel, ok := b.prunedCandidates(b.idx.locals, tup, cands, bufs)
 			if !ok {
 				continue // full scan: trivially complete
 			}

@@ -1,0 +1,345 @@
+package pubsub
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// This file implements the RCU-style snapshot read path of the matching
+// engine (see CONCURRENCY.md for the full memory model). The authoritative
+// routing state — the per-direction dirIndex posting lists, compiled filter
+// intervals and projection unions of index.go — stays mutable under
+// Broker.mu exactly as before. What changes is how route reads it: every
+// churn operation that mutates the index rebuilds the affected slice of an
+// immutable matchSnapshot under the lock and publishes it with one atomic
+// pointer swap (Broker.publishLocked). route loads the pointer once and
+// matches against that frozen epoch without taking the lock at all, so
+// concurrent publishes from different neighbors match in parallel and never
+// block on (or observe a half-applied) subscribe/retract/advertise.
+//
+// Immutability contract (enforced by the lockdiscipline analyzer's
+// cosmoslint:snapshot rule): snapshot types are write-once — populated only
+// inside the builder that constructs them, never mutated after the
+// atomic.Pointer publish. The one deliberate exception is streamSnap.prune,
+// itself an atomic pointer to an immutable pruneSlot, built lazily by the
+// first route through the stream (buildAttrPruneIndex is a pure function of
+// the frozen posting list, so racing builders store identical values and
+// whichever wins is correct).
+//
+// Sharing discipline: snapshots do NOT deep-copy the matching state. They
+// alias the live d.byStream posting-list slices, the *compiledSub matching
+// fields (sub, keep, groups, raw — write-once at compileSub) and the
+// *attrUnion maps (copy-on-write by construction). This is sound because
+// the write side never mutates shared memory in place: dirIndex.remove
+// replaces a posting list with a fresh copy instead of splicing (see
+// index.go), dirIndex.add appends — which writes only beyond every
+// published snapshot's length — and the lifecycle fields a churn operation
+// does mutate in place (sentTo, coveredBy, suppresses, seq) are never read
+// by the match path. A snapshot therefore stays internally consistent
+// forever; it just goes stale, and the next publish swaps it out wholesale.
+
+// matchSnapshot is one published epoch of a broker's matching state: the
+// neighbor set, the local-subscription view and one dirSnap per direction
+// that held records at publish time. Reached only via Broker.snap.Load();
+// the single top-level pointer is what makes an epoch atomic — a route
+// either sees all of a churn operation's effects or none of them.
+//
+// cosmoslint:snapshot
+type matchSnapshot struct {
+	neighbors []topology.NodeID
+	locals    *dirSnap
+	dirs      map[topology.NodeID]*dirSnap
+	// noPrune freezes the broker's attribute-pruning mode into the epoch,
+	// so a mode toggle behaves like any other churn: it republishes, and
+	// in-flight routes finish on the epoch they loaded.
+	noPrune bool
+}
+
+// dirSnap is the frozen per-stream view of one direction: the posting-list
+// entries sorted by stream name for binary-search lookup. Directions with
+// no posting lists publish an empty dirSnap (or none at all — route treats
+// both as "not interested").
+//
+// cosmoslint:snapshot
+type dirSnap struct {
+	streams []streamSnapEntry
+}
+
+// streamSnapEntry pairs a stream name with its frozen posting-list view.
+//
+// cosmoslint:snapshot
+type streamSnapEntry struct {
+	name string
+	ss   *streamSnap
+}
+
+// streamSnap is the frozen matching state of one (direction, stream) pair:
+// the posting list (aliasing the live slice — never spliced, see
+// dirIndex.remove), the projection union, and the lazily built prune index.
+//
+// cosmoslint:snapshot
+type streamSnap struct {
+	cands []*compiledSub
+	union *attrUnion
+	// prune caches the attribute-prune index of cands, built by the first
+	// route that wants it (pruneIndex). The indirection through pruneSlot
+	// distinguishes "not built yet" (nil pointer) from "built, population
+	// not worth indexing" (slot with nil idx).
+	prune atomic.Pointer[pruneSlot]
+}
+
+// pruneSlot is the build-once result cell of streamSnap.prune.
+//
+// cosmoslint:snapshot
+type pruneSlot struct {
+	idx *attrPruneIndex
+}
+
+// stream returns the frozen view of one stream's posting list, or nil when
+// the direction holds no subscriptions on it.
+func (ds *dirSnap) stream(s string) *streamSnap {
+	lo, hi := 0, len(ds.streams)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ds.streams[mid].name < s {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ds.streams) && ds.streams[lo].name == s {
+		return ds.streams[lo].ss
+	}
+	return nil
+}
+
+// pruneIndex returns the snapshot's attribute-prune index (attrindex.go),
+// building it on first use. Unlike the live dirIndex.attrIndex cache this
+// runs OUTSIDE the broker lock, on the lock-free route path: correctness
+// rests on buildAttrPruneIndex being a pure function of the frozen cands
+// slice, so two racing builders compute identical indexes and either store
+// may win.
+func (ss *streamSnap) pruneIndex() *attrPruneIndex {
+	if slot := ss.prune.Load(); slot != nil {
+		return slot.idx
+	}
+	idx := buildAttrPruneIndex(ss.cands)
+	ss.prune.Store(&pruneSlot{idx: idx})
+	return idx
+}
+
+// newStreamSnap freezes one (direction, stream) posting list. The slices
+// and maps are aliased, not copied — see the sharing discipline above.
+func newStreamSnap(d *dirIndex, s string) *streamSnap {
+	return &streamSnap{cands: d.byStream[s], union: d.union[s]}
+}
+
+// snapDir builds the frozen view of one direction. When the direction is
+// clean since the previous epoch, the previous dirSnap is shared as-is
+// (epoch construction is O(dirty streams), not O(index)); otherwise the
+// dirty streams are re-frozen and merged into the previous entry list in
+// one sorted walk. full forces a from-scratch rebuild (first publish, mode
+// toggle, neighbor change). Caller holds Broker.mu.
+func snapDir(d *dirIndex, prev *dirSnap, full bool) *dirSnap {
+	if !full && prev != nil && len(d.dirtySnap) == 0 {
+		return prev
+	}
+	if full || prev == nil {
+		clear(d.dirtySnap)
+		names := make([]string, 0, len(d.byStream))
+		//lint:maporder names are put into canonical order by sort.Strings below
+		for s := range d.byStream {
+			names = append(names, s)
+		}
+		sort.Strings(names)
+		ds := &dirSnap{streams: make([]streamSnapEntry, 0, len(names))}
+		for _, s := range names {
+			ds.streams = append(ds.streams, streamSnapEntry{name: s, ss: newStreamSnap(d, s)})
+		}
+		return ds
+	}
+	dirty := make([]string, 0, len(d.dirtySnap))
+	//lint:maporder dirty names are put into canonical order by sort.Strings below
+	for s := range d.dirtySnap {
+		dirty = append(dirty, s)
+	}
+	sort.Strings(dirty)
+	clear(d.dirtySnap)
+	out := make([]streamSnapEntry, 0, len(prev.streams)+len(dirty))
+	i, j := 0, 0
+	for i < len(prev.streams) || j < len(dirty) {
+		if j >= len(dirty) || (i < len(prev.streams) && prev.streams[i].name < dirty[j]) {
+			out = append(out, prev.streams[i])
+			i++
+			continue
+		}
+		s := dirty[j]
+		j++
+		if i < len(prev.streams) && prev.streams[i].name == s {
+			i++ // superseded (or fully drained) previous entry
+		}
+		// remove deletes emptied posting lists from byStream, so a dirty
+		// stream with no list left simply drops out of the epoch.
+		if len(d.byStream[s]) > 0 {
+			out = append(out, streamSnapEntry{name: s, ss: newStreamSnap(d, s)})
+		}
+	}
+	return &dirSnap{streams: out}
+}
+
+// publishLocked swaps in the next matching-state epoch. Every entry point
+// that mutates the index (or the neighbor set, or a matching mode) calls it
+// at the end of its critical section, so in any single-threaded execution
+// the published snapshot is always exactly equivalent to the live index —
+// which is what keeps the sequential equivalence suites bit-identical.
+// Cheap when nothing relevant changed (one dirty check); O(dirty streams)
+// otherwise. Caller holds b.mu.
+func (b *Broker) publishLocked() {
+	cur := b.snap.Load()
+	if b.linearMatch || b.snapOff {
+		// Reference modes route through the locked path; an epoch swap to
+		// nil is how the mode change reaches in-flight routes. snapAll
+		// stays set so re-enabling rebuilds from scratch (dirty marks kept
+		// accumulating, but prev snapshots are gone).
+		if cur != nil {
+			b.snap.Store(nil)
+		}
+		b.snapAll = true
+		return
+	}
+	full := b.snapAll || cur == nil
+	if !full && !b.idx.dirtyAny() {
+		return
+	}
+	next := &matchSnapshot{noPrune: b.noPrune}
+	if full {
+		next.neighbors = append([]topology.NodeID(nil), b.neighbors...)
+		next.locals = snapDir(b.idx.locals, nil, true)
+		next.dirs = make(map[topology.NodeID]*dirSnap, len(b.idx.dirs))
+		for _, n := range b.idx.dirOrder {
+			next.dirs[n] = snapDir(b.idx.dirs[n], nil, true)
+		}
+	} else {
+		next.neighbors = cur.neighbors
+		next.locals = snapDir(b.idx.locals, cur.locals, false)
+		next.dirs = make(map[topology.NodeID]*dirSnap, len(b.idx.dirs))
+		for _, n := range b.idx.dirOrder {
+			next.dirs[n] = snapDir(b.idx.dirs[n], cur.dirs[n], false)
+		}
+	}
+	b.snapAll = false
+	b.snap.Store(next)
+}
+
+// dirtyAny reports whether any direction has unpublished posting-list
+// changes. Caller holds Broker.mu.
+func (m *matchIndex) dirtyAny() bool {
+	if len(m.locals.dirtySnap) > 0 {
+		return true
+	}
+	for _, n := range m.dirOrder {
+		if len(m.dirs[n].dirtySnap) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeIn reports membership in a frozen neighbor slice (degrees are small,
+// same linear-scan argument as neighborLocked).
+func nodeIn(nodes []topology.NodeID, n topology.NodeID) bool {
+	for _, x := range nodes {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}
+
+// matchSnap is matchIndexed against a frozen epoch: identical candidate
+// enumeration, pruning, short-circuits and projection-union fast path, just
+// reading the snapshot instead of the live index — so its decisions are bit
+// for bit those matchIndexed would have made at publish time. Runs without
+// Broker.mu; all scratch lives in the pooled bufs.
+func matchSnap(snap *matchSnapshot, t stream.Tuple, from topology.NodeID, bufs *routeBufs, locals []delivery, hops []hop) ([]delivery, []hop) {
+	if ls := snap.locals.stream(t.Stream); ls != nil {
+		if sel, ok := prunedSnapCandidates(ls, t, snap.noPrune, bufs); ok {
+			for _, p := range sel {
+				if c := ls.cands[p]; c.handler != nil && c.matches(t) {
+					locals = append(locals, delivery{h: c.handler, sub: c.sub, keep: c.keep})
+				}
+			}
+		} else {
+			for _, c := range ls.cands {
+				if c.handler != nil && c.matches(t) {
+					locals = append(locals, delivery{h: c.handler, sub: c.sub, keep: c.keep})
+				}
+			}
+		}
+	}
+	for _, n := range snap.neighbors {
+		if n == from {
+			continue
+		}
+		ds, ok := snap.dirs[n]
+		if !ok {
+			continue
+		}
+		ss := ds.stream(t.Stream)
+		if ss == nil {
+			continue
+		}
+		cands := ss.cands
+		matched := bufs.match[:0]
+		all := false
+		if sel, ok := prunedSnapCandidates(ss, t, snap.noPrune, bufs); ok {
+			for _, p := range sel {
+				c := cands[p]
+				if !c.matches(t) {
+					continue
+				}
+				if c.keep == nil {
+					all = true
+					break
+				}
+				matched = append(matched, c)
+			}
+		} else {
+			for _, c := range cands {
+				if !c.matches(t) {
+					continue
+				}
+				if c.keep == nil {
+					all = true
+					break
+				}
+				matched = append(matched, c)
+			}
+		}
+		bufs.match = matched // retain grown capacity for the next direction
+		var wanted map[string]bool
+		switch {
+		case all:
+			wanted = nil
+		case len(matched) == 0:
+			continue // not interested
+		case len(matched) == len(cands):
+			// Same argument as matchIndexed: every candidate matched and
+			// none keeps all attributes, so the precomputed union IS the
+			// per-tuple union, and the map is immutable by construction.
+			wanted = ss.union.keep
+		default:
+			wanted = make(map[string]bool)
+			for _, c := range matched {
+				for a := range c.keep {
+					wanted[a] = true
+				}
+			}
+		}
+		hops = append(hops, hop{to: n, attrs: wanted})
+	}
+	return locals, hops
+}

@@ -1,11 +1,3 @@
-// Package pubsub implements the content-based Publish/Subscribe substrate
-// COSMOS is built on (§1.2, §2): a Siena-style broker overlay where data
-// sources advertise streams, consumers subscribe with content filters, and
-// messages are routed hop by hop so that (1) a message crosses each overlay
-// link at most once, (2) messages are filtered as early as possible on the
-// way to interested parties, and (3) unnecessary attributes are projected
-// away as early as possible. Per-link traffic is accounted so experiments
-// can measure weighted communication cost on the overlay.
 package pubsub
 
 import (

@@ -1,0 +1,19 @@
+// Package transport runs the Pub/Sub broker protocol over TCP, turning the
+// in-process overlay into a genuinely distributed one: each process hosts
+// one broker and exchanges gob-encoded envelopes (advertisements,
+// subscriptions, data tuples) with its overlay neighbors. It implements
+// pubsub.Fabric, so the routing logic is byte-for-byte the same code that
+// the simulation and the embedded middleware run.
+//
+// Failure handling: each link is one gob stream over TCP, delivered FIFO —
+// which is why the epoch machinery's duplication/reorder tolerance only
+// needs to absorb retransmit bursts and cross-link races (see
+// internal/chaos). A failed encode evicts and closes the cached
+// connection so the next send redials; control-plane envelopes retry with
+// capped exponential backoff under a bounded in-flight budget, data
+// tuples are at-most-once. Terminal failures surface through
+// internal/metrics counters and the SetSendErrorHandler callback so the
+// layer above can declare the link failed and re-attach. Transport and
+// encode errors must never be silently discarded — cosmoslint's errdrop
+// analyzer enforces this (LINT.md).
+package transport

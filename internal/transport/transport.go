@@ -1,9 +1,3 @@
-// Package transport runs the Pub/Sub broker protocol over TCP, turning the
-// in-process overlay into a genuinely distributed one: each process hosts
-// one broker and exchanges gob-encoded envelopes (advertisements,
-// subscriptions, data tuples) with its overlay neighbors. It implements
-// pubsub.Fabric, so the routing logic is byte-for-byte the same code that
-// the simulation and the embedded middleware run.
 package transport
 
 import (

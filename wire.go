@@ -1,3 +1,9 @@
+// This file wires a placed query into the pub/sub overlay: subscribing its
+// processor to the union of the input filters it needs (early filtering and
+// projection, §2), tagging and splitting shared superset result streams,
+// and rewiring when Adapt moves the placement. Everything here is
+// middleware-internal; the public API lives in cosmos.go.
+
 package cosmos
 
 import (
