@@ -50,11 +50,21 @@ func run(args []string) error {
 	publish := fs.String("publish", "", "publish synthetic readings on this stream (1/sec)")
 	subscribe := fs.String("subscribe", "", "subscription as stream[:attr>num] (also <, >=, <=)")
 	period := fs.Duration("period", time.Second, "publish period")
+	batchSize := fs.Int("batch-size", 0, "max envelopes per transport batch (0 = default 64)")
+	flushWindow := fs.Duration("flush-window", 0, "how long a partial batch waits for more traffic (0 = default 1ms, negative = flush immediately)")
+	queueDepth := fs.Int("queue-depth", 0, "per-peer send queue bound, both planes (0 = default 4096)")
+	noBatching := fs.Bool("no-batching", false, "v1 framing: one wire message per envelope (for single-envelope peers)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	node, err := transport.NewNode(topology.NodeID(*id), *listen)
+	node, err := transport.NewNodeWith(topology.NodeID(*id), *listen, transport.Options{
+		BatchSize:         *batchSize,
+		FlushWindow:       *flushWindow,
+		ControlQueueDepth: *queueDepth,
+		DataQueueDepth:    *queueDepth,
+		DisableBatching:   *noBatching,
+	})
 	if err != nil {
 		return err
 	}

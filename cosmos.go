@@ -96,6 +96,14 @@ type Config struct {
 	// sequential reference mode for debugging; routing decisions are
 	// identical, only concurrency differs. See CONCURRENCY.md.
 	DisableSnapshotRouting bool
+	// CoverDelta enables covering-delta re-propagation
+	// (pubsub.SetCoverDelta): when a new advertisement replays a burst of
+	// existing subscriptions toward its source, only the burst's maximal
+	// elements under the containment order are sent — covered members are
+	// suppressed locally, exactly as if the cover had arrived first. Off
+	// by default so traffic-shape oracles see the reference per-sub
+	// propagation; delivery and drained state are identical either way.
+	CoverDelta bool
 }
 
 // StreamDef declares a source stream.
@@ -502,6 +510,9 @@ func (m *Middleware) Start() error {
 	}
 	if m.cfg.DisableSnapshotRouting {
 		net.SetSnapshotRouting(false)
+	}
+	if m.cfg.CoverDelta {
+		net.SetCoverDelta(true)
 	}
 	m.net = net
 	// Sources advertise their streams; processors advertise the result

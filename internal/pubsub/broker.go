@@ -56,6 +56,18 @@ type Fabric interface {
 	CountData(from, to topology.NodeID, size int)
 }
 
+// Flusher is the optional flush hook of fabrics whose Peer sends are
+// asynchronous (the TCP transport's per-peer send pipelines). Flush blocks
+// until every protocol message handed to the fabric before the call has
+// left the local node — been written to the wire, or dropped by the
+// fabric's overflow/failure policy. It promises nothing about the REMOTE
+// end having processed the messages, so drain oracles flush first and then
+// poll the receiving brokers. In-process fabrics deliver synchronously and
+// need not implement it.
+type Flusher interface {
+	Flush()
+}
+
 // AdvertFrom, UnadvertFrom, PropagateFrom, RetractFrom and RouteFrom make
 // *Broker itself a Peer, so in-process fabrics hand brokers out directly.
 func (b *Broker) AdvertFrom(from topology.NodeID, streamName string, origin topology.NodeID, seq uint64) {
@@ -159,6 +171,16 @@ type Broker struct {
 	// published epoch is dropped and every route takes the locked
 	// sequential path — the debugging/reference mode, like linearMatch.
 	snapOff bool
+	// coverDelta enables covering-delta re-propagation (SetCoverDelta):
+	// a replay burst toward a newly learned advert direction sends only
+	// its maximal subscriptions under the covering relation, suppressing
+	// the rest against the covers actually sent — one merged cover
+	// instead of n covered subscriptions. Off by default: the delta mode
+	// trades the reference traffic shape (each record propagated unless
+	// an EARLIER-sent one covers it) for superlinearly less control
+	// flood on cover-chain workloads, so the from-scratch-rebuild
+	// equivalence oracles run with it off.
+	coverDelta bool
 	// seq numbers the subscription epochs originated by this broker's
 	// clients: each Subscribe stamps the next value, so a re-subscribe
 	// of a reused ID supersedes the records (and outruns stale
@@ -226,6 +248,22 @@ func (b *Broker) SetSnapshotRouting(on bool) {
 	b.snapOff = !on
 	b.snapAll = true
 	b.publishLocked()
+	b.mu.Unlock()
+}
+
+// SetCoverDelta switches covering-delta re-propagation (off by default):
+// when a replay burst re-propagates recorded subscriptions toward a newly
+// learned advert direction, only the burst's maximal subscriptions under
+// the covering relation are sent; the covered remainder is suppressed
+// against the sent covers through the ordinary covered-by edges, so
+// retraction un-suppression and the lifecycle fixpoint invariant hold
+// unchanged. Deliveries are identical in both modes (a cover admits every
+// message the covered subscription admits); what changes is control-flood
+// volume — one merged cover crosses the link instead of n covered
+// subscriptions.
+func (b *Broker) SetCoverDelta(on bool) {
+	b.mu.Lock()
+	b.coverDelta = on
 	b.mu.Unlock()
 }
 
@@ -614,27 +652,135 @@ func (b *Broker) advertisedExceptAny(exclude topology.NodeID, streams []string) 
 // neighbor order — the same order a from-scratch network would have
 // propagated them in. Caller holds b.mu.
 func (b *Broker) replayLocked(from topology.NodeID, streamName string) []*Subscription {
-	var out []*Subscription
-	consider := func(c *compiledSub) {
+	var cands []*compiledSub
+	collect := func(c *compiledSub) {
 		if c.sentTo[from] || c.coveredBy[from] != nil {
 			return
 		}
-		if cov := b.coverFor(from, c.sub, query.SelectionIntervalsByAttr(c.sub.Filters)); cov != nil {
-			suppressEdge(cov, c, from)
-			return
-		}
-		c.sentTo[from] = true
-		out = append(out, c.sub)
+		cands = append(cands, c)
 	}
 	for _, c := range b.idx.locals.byStream[streamName] {
-		consider(c)
+		collect(c)
 	}
 	for _, d := range b.idx.dirOrder {
 		if d == from {
 			continue
 		}
 		for _, c := range b.idx.dirs[d].byStream[streamName] {
-			consider(c)
+			collect(c)
+		}
+	}
+	if b.coverDelta {
+		return b.replayDeltaLocked(from, cands)
+	}
+	var out []*Subscription
+	for _, c := range cands {
+		// coverFor sees the sentTo marks set earlier in this loop, so
+		// in-burst covering works exactly as the incremental sweep did:
+		// an EARLIER candidate already marked sent can cover a later one.
+		if cov := b.coverFor(from, c.sub, query.SelectionIntervalsByAttr(c.sub.Filters)); cov != nil {
+			suppressEdge(cov, c, from)
+			continue
+		}
+		c.sentTo[from] = true
+		out = append(out, c.sub)
+	}
+	return out
+}
+
+// maxDeltaScan caps the kept-maximal list the delta pass compares new
+// candidates against. Cover-chain workloads (the ones the delta mode
+// exists for) keep the list short; on a pathological burst of thousands of
+// mutually non-covering subscriptions the pairwise scan would go
+// quadratic, so past the cap new candidates are kept unexamined — the
+// result is merely less minimal, never unsound.
+const maxDeltaScan = 128
+
+// replayDeltaLocked is the covering-delta replay: of the burst's
+// candidates, only the maximal subscriptions under the covering relation
+// are sent toward 'from'; every other candidate is suppressed against the
+// maximal one that covers it. The reference sweep only suppresses a
+// candidate under an EARLIER-sent cover, so a cover chain registered
+// narrow-to-wide replays every link of the chain; the delta pass merges the
+// burst first and sends one cover, cutting control-flood volume
+// superlinearly on such workloads.
+//
+// The suppression edges recorded here satisfy the covered-by invariant
+// (index.go): every suppressor is itself sent (sentTo[from] marked below),
+// still recorded, and Covers the suppressed record — the covering relation
+// is transitive, so re-pointing the dependents of an evicted keeper at its
+// evictor preserves it. Candidates covered by a record sent in an EARLIER
+// burst are suppressed against that record, exactly as the reference sweep
+// would. Caller holds b.mu.
+func (b *Broker) replayDeltaLocked(from topology.NodeID, cands []*compiledSub) []*Subscription {
+	ivs := make([]map[string]query.Interval, len(cands))
+	for i, c := range cands {
+		ivs[i] = query.SelectionIntervalsByAttr(c.sub.Filters)
+	}
+	// kept holds the indexes of the currently maximal candidates, in
+	// canonical order; coverIdx[i] >= 0 names the candidate suppressing
+	// candidate i (always a kept member once the pass finishes).
+	kept := make([]int, 0, len(cands))
+	coverIdx := make([]int, len(cands))
+	for i := range coverIdx {
+		coverIdx[i] = -1
+	}
+	for i, c := range cands {
+		// A cover actually sent toward 'from' by an earlier burst wins
+		// outright — same decision, same edge as the reference sweep.
+		// coverIdx stays -1: the candidate is decided and leaves the
+		// burst merge entirely.
+		if cov := b.coverFor(from, c.sub, ivs[i]); cov != nil {
+			suppressEdge(cov, c, from)
+			continue
+		}
+		covered := false
+		if len(kept) <= maxDeltaScan {
+			for _, k := range kept {
+				if cands[k].sub.ID != c.sub.ID && cands[k].sub.CoversPrepared(c.sub, ivs[i]) {
+					coverIdx[i] = k
+					covered = true
+					break
+				}
+			}
+		}
+		if covered {
+			continue
+		}
+		// c is maximal so far: evict the keepers it covers, re-pointing
+		// their dependents at c (covering is transitive). Two equal
+		// subscriptions cover each other; the canonically earlier one is
+		// already kept and covers c above, so eviction here is always by
+		// a strictly wider candidate.
+		if len(kept) <= maxDeltaScan {
+			live := kept[:0]
+			for _, k := range kept {
+				if cands[k].sub.ID != c.sub.ID && c.sub.CoversPrepared(cands[k].sub, ivs[k]) {
+					coverIdx[k] = i
+					for j := 0; j < i; j++ {
+						if coverIdx[j] == k {
+							coverIdx[j] = i
+						}
+					}
+				} else {
+					live = append(live, k)
+				}
+			}
+			kept = append(live, i)
+		} else {
+			kept = append(kept, i)
+		}
+	}
+	// Mark the maximal set sent first (the covered-by invariant requires
+	// suppressors to carry the sentTo mark), then record the edges.
+	out := make([]*Subscription, 0, len(kept))
+	for _, k := range kept {
+		cands[k].sentTo[from] = true
+		out = append(out, cands[k].sub)
+	}
+	for i, k := range coverIdx {
+		if k >= 0 {
+			suppressEdge(cands[k], cands[i], from)
 		}
 	}
 	return out
@@ -1150,10 +1296,16 @@ func (b *Broker) route(t stream.Tuple, from topology.NodeID) {
 	// attribute map per route call: the copy decouples retaining
 	// subscribers from a publisher reusing its tuple after Publish, and
 	// delivered tuples are read-only by contract (see Handler), so the
-	// old per-match defensive copy is not needed.
-	var fullAttrs map[string]stream.Value
+	// old per-match defensive copy is not needed. A wire-arrived tuple
+	// (Relay non-nil) needs no copy at all — the transport built its map
+	// this hop, so no publisher alias exists.
+	fullAttrs := t.Attrs
+	if t.Relay == nil {
+		fullAttrs = nil
+	}
 	for _, d := range locals {
 		pt := projectAttrs(t, d.keep)
+		pt.Relay = nil // transport-internal hint; handlers see a clean tuple
 		if d.keep == nil {
 			if fullAttrs == nil {
 				fullAttrs = make(map[string]stream.Value, len(t.Attrs))

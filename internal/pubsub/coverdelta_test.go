@@ -1,0 +1,150 @@
+package pubsub
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// Covering-delta re-propagation (SetCoverDelta): when a new advertisement
+// replays a burst of already-registered subscriptions toward its source,
+// only the burst's maximal elements under the containment order travel —
+// covered members are suppressed locally with the same covered-by edges an
+// early-arriving cover would have produced. Traffic shrinks; delivery,
+// lifecycle and drain behavior must not move at all.
+
+// runCoverDeltaScenario subscribes a nested-threshold chain at the far end
+// of a line BEFORE the source advertises (narrow to broad, so the delta
+// pass must re-point earlier kept members when a broader sub arrives),
+// floods the advert, publishes a sweep, churns the covering subscription,
+// publishes again, then tears everything down. It returns the delivery log
+// and the control bytes the advert-triggered replay cost.
+func runCoverDeltaScenario(t *testing.T, delta bool) (map[string]int, float64) {
+	t.Helper()
+	net := lineNet(t)
+	if delta {
+		net.SetCoverDelta(true)
+	}
+	src, _ := net.Broker(0)
+	dst, _ := net.Broker(3)
+
+	delivered := make(map[string]int)
+	// Nested chain a>=40 ⊃ a>=30 ⊃ a>=20 ⊃ a>=10, registered narrowest
+	// first, plus an exact twin of the broadest.
+	thresholds := []float64{40, 30, 20, 10, 10}
+	for i, th := range thresholds {
+		id := fmt.Sprintf("s%d", i)
+		sub := &Subscription{ID: id, Streams: []string{"R"},
+			Filters: []query.Predicate{filter("a", query.Ge, th)}}
+		if err := dst.Subscribe(sub, func(s *Subscription, tp stream.Tuple) {
+			delivered[fmt.Sprintf("%s@%d", s.ID, tp.Timestamp)]++
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	net.ResetTraffic()
+	src.Advertise("R") // triggers the replay burst on every hop
+	replayCost := net.Traffic().ControlBytes
+
+	publishSweep := func(base int64) {
+		for i, v := range []float64{5, 15, 25, 35, 45} {
+			src.Publish(tuple2("R", base+int64(i), v))
+		}
+	}
+	publishSweep(100)
+
+	// Churn the cover: retracting the broadest subs must un-suppress the
+	// narrower ones (they re-propagate), keeping delivery intact.
+	dst.Unsubscribe("s3")
+	dst.Unsubscribe("s4")
+	publishSweep(200)
+
+	for _, id := range []string{"s0", "s1", "s2"} {
+		dst.Unsubscribe(id)
+	}
+	src.Unadvertise("R")
+	net.Quiesce()
+	assertDrained(t, net)
+	if rep := net.ResidualState(); len(rep) != 0 {
+		t.Fatalf("delta=%v: residual state after teardown: %v", delta, rep)
+	}
+	return delivered, replayCost
+}
+
+func tuple2(streamName string, ts int64, a float64) stream.Tuple {
+	return stream.Tuple{Stream: streamName, Timestamp: ts,
+		Attrs: map[string]stream.Value{"a": stream.FloatVal(a)}, Size: 24}
+}
+
+func TestCoverDeltaEquivalentAndCheaper(t *testing.T) {
+	ref, refCost := runCoverDeltaScenario(t, false)
+	got, deltaCost := runCoverDeltaScenario(t, true)
+
+	if len(got) != len(ref) {
+		t.Fatalf("delta delivered %d distinct (sub,tuple) pairs, reference %d", len(got), len(ref))
+	}
+	for k, n := range ref {
+		if got[k] != n {
+			t.Errorf("delivery %q: delta saw %d, reference %d", k, got[k], n)
+		}
+	}
+
+	// The replay burst carries 4 subscriptions per hop in reference mode
+	// (the equal twin is already suppressed in-burst there too) but only
+	// the maximal element (a>=10) in delta mode — an exact 4x cut on the
+	// replay leg, once the shared advert-flood bytes are accounted for.
+	if deltaCost >= refCost {
+		t.Fatalf("delta replay cost %.0f not below reference %.0f", deltaCost, refCost)
+	}
+	advertBytes := 3 * 32.0 // advertSize per hop, identical in both modes
+	if (refCost - advertBytes) != 4*(deltaCost-advertBytes) {
+		t.Errorf("replay subscription bytes: reference %.0f, delta %.0f — want exactly 4x (4 subs vs 1 per hop)",
+			refCost-advertBytes, deltaCost-advertBytes)
+	}
+}
+
+// TestCoverDeltaLifecycleInvariant: after a delta replay, every recorded
+// subscription must still satisfy the per-neighbor lifecycle invariant
+// (sentTo or a live cover toward every advert direction) — the delta pass
+// marks suppression with the same covered-by edges the incremental path
+// uses, so churn (un-suppression, retraction) keeps working.
+func TestCoverDeltaLifecycleInvariant(t *testing.T) {
+	net := lineNet(t)
+	net.SetCoverDelta(true)
+	src, _ := net.Broker(0)
+	dst, _ := net.Broker(3)
+
+	for i, th := range []float64{30, 10, 20} {
+		sub := &Subscription{ID: fmt.Sprintf("c%d", i), Streams: []string{"R"},
+			Filters: []query.Predicate{filter("a", query.Ge, th)}}
+		if err := dst.Subscribe(sub, func(*Subscription, stream.Tuple) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.Advertise("R")
+	checkLifecycleInvariant(t, net, 0)
+
+	// The covered members must be retractable while suppressed, and the
+	// cover's own retraction must release and re-propagate the rest.
+	dst.Unsubscribe("c2") // covered (a>=20)
+	dst.Unsubscribe("c1") // the cover (a>=10)
+	checkLifecycleInvariant(t, net, 0)
+	s0, _ := net.Broker(0)
+	s0.mu.Lock()
+	var present int
+	for _, idx := range s0.idx.dirs {
+		present += len(idx.subs)
+	}
+	s0.mu.Unlock()
+	if present != 1 {
+		t.Fatalf("source broker records %d remote subscriptions after churn, want 1 (c0 re-propagated)", present)
+	}
+
+	dst.Unsubscribe("c0")
+	src.Unadvertise("R")
+	net.Quiesce()
+	assertDrained(t, net)
+}

@@ -19,11 +19,13 @@ type Network struct {
 
 	mu      sync.Mutex
 	brokers map[topology.NodeID]*Broker
-	// linear, noPrune and snapOff record the matcher modes so dynamically
-	// joined brokers (AddBroker) inherit them.
-	linear  bool
-	noPrune bool
-	snapOff bool
+	// linear, noPrune, snapOff and coverDelta record the matcher and
+	// propagation modes so dynamically joined brokers (AddBroker)
+	// inherit them.
+	linear     bool
+	noPrune    bool
+	snapOff    bool
+	coverDelta bool
 	// latency of each overlay link, keyed by ordered pair.
 	links map[[2]topology.NodeID]float64
 	// traffic in bytes per overlay link.
@@ -144,7 +146,7 @@ func (net *Network) AddBroker(n topology.NodeID) *Broker {
 	net.brokers[n] = b
 	net.addLink(attach, n, best)
 	attachBroker := net.brokers[attach]
-	lin, noPrune, snapOff := net.linear, net.noPrune, net.snapOff
+	lin, noPrune, snapOff, delta := net.linear, net.noPrune, net.snapOff, net.coverDelta
 	net.mu.Unlock()
 	if lin {
 		b.SetLinearMatching(true)
@@ -154,6 +156,9 @@ func (net *Network) AddBroker(n topology.NodeID) *Broker {
 	}
 	if snapOff {
 		b.SetSnapshotRouting(false)
+	}
+	if delta {
+		b.SetCoverDelta(true)
 	}
 	attachBroker.syncAdvertsTo(n)
 	return b
@@ -544,6 +549,24 @@ func (net *Network) SetAttrPruning(on bool) {
 	net.mu.Unlock()
 	for _, b := range brokers {
 		b.SetAttrPruning(on)
+	}
+}
+
+// SetCoverDelta flips covering-delta re-propagation on every broker (see
+// Broker.SetCoverDelta). Off by default: the delta mode delivers
+// identically but reshapes per-link control traffic, so the
+// rebuilt-from-scratch equivalence oracles keep it off.
+func (net *Network) SetCoverDelta(on bool) {
+	net.mu.Lock()
+	net.coverDelta = on
+	brokers := make([]*Broker, 0, len(net.brokers))
+	for _, b := range net.brokers {
+		//lint:maporder each broker gets one independent flag write; visit order is unobservable
+		brokers = append(brokers, b)
+	}
+	net.mu.Unlock()
+	for _, b := range brokers {
+		b.SetCoverDelta(on)
 	}
 }
 

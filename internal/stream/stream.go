@@ -169,6 +169,14 @@ type Tuple struct {
 	Timestamp int64
 	Attrs     map[string]Value
 	Size      int // encoded size in bytes, for traffic accounting
+
+	// Relay is an opaque hint the transport layer attaches to tuples that
+	// arrived off the wire: the already-decoded wire form, reused verbatim
+	// when the tuple is forwarded whole to the next hop instead of being
+	// rebuilt and re-flattened. Matching and delivery ignore it, and any
+	// transformation that copies the tuple (projection) drops it, so a
+	// non-nil Relay always describes exactly this tuple.
+	Relay any
 }
 
 // Get returns the named attribute; "timestamp" resolves to the tuple

@@ -1,0 +1,439 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// Per-peer send pipeline. Every neighbor of a Node gets one peerPipe: a
+// bounded FIFO queue drained by a dedicated sender goroutine that coalesces
+// queued envelopes into MsgBatch wire messages (batching amortizes the
+// per-message gob and syscall cost, the dominant term of control floods and
+// high-rate data fan-out). The pipeline is what makes deliver a non-blocking
+// enqueue: dialing, encoding, retry backoff and terminal-failure surfacing
+// all run on the sender goroutine, never on the broker's route/propagate
+// goroutines (see CONCURRENCY.md "Transport send pipelines").
+//
+// Overflow policy is per plane. Control envelopes are lossless — the
+// routing-state machinery cannot reconstruct a lost propagate or retract —
+// so a full control queue blocks the enqueuer (backpressure, propagating
+// hop by hop exactly like a slow TCP receiver would). Data tuples are
+// at-most-once by contract, so a full data queue sheds the OLDEST queued
+// tuple under the transport.dropped_data counter and never blocks routing.
+//
+// Ordering: one queue and one sender per peer give per-peer FIFO — an
+// envelope enqueued before another toward the same peer is written to the
+// same TCP stream first, across retries (a batch is retried as a unit, with
+// shed data tuples removed, never reordered). The tombstone/epoch machinery
+// in pubsub depends on exactly this per-link FIFO.
+
+// Send self-healing knobs. Control-plane envelopes carry routing state the
+// overlay cannot reconstruct on its own, so a failed write is retried over a
+// fresh connection with capped exponential backoff; data tuples are
+// best-effort (the data plane promises at-most-once) and ride only the
+// first attempt of their batch.
+const (
+	sendAttempts   = 4
+	retryBaseDelay = 2 * time.Millisecond
+	retryMaxDelay  = 50 * time.Millisecond
+	// dialTimeout bounds a sender's connection attempt so a blackholed
+	// peer cannot pin its sender goroutine (and Close) for the OS default.
+	dialTimeout = 2 * time.Second
+	// sendBufSize is the bufio.Writer buffer in front of each connection:
+	// one flush per batch instead of one syscall per envelope.
+	sendBufSize = 64 << 10
+)
+
+// Options tunes a Node's send pipelines. The zero value means defaults.
+type Options struct {
+	// BatchSize is the most envelopes coalesced into one MsgBatch wire
+	// message (default 64). A batch of one is sent as a plain envelope.
+	BatchSize int
+	// FlushWindow is how long a partial batch waits for more traffic
+	// before flushing (default 1ms). Zero means the default; negative
+	// flushes immediately (batch only what is already queued).
+	FlushWindow time.Duration
+	// ControlQueueDepth bounds queued control envelopes per peer
+	// (default 4096). At the bound, enqueue blocks: backpressure.
+	ControlQueueDepth int
+	// DataQueueDepth bounds queued data envelopes per peer (default
+	// 4096). At the bound, the oldest queued tuple is dropped and
+	// counted: at-most-once.
+	DataQueueDepth int
+	// DisableBatching is the reference mode: one wire message per
+	// envelope, flushed immediately — the v1 framing, for equivalence
+	// tests, benchmarks, and single-envelope peers (the negotiated
+	// fallback when a neighbor predates MsgBatch).
+	DisableBatching bool
+}
+
+const (
+	defaultBatchSize  = 64
+	defaultFlushWin   = time.Millisecond
+	defaultQueueDepth = 4096
+)
+
+func (o Options) withDefaults() Options {
+	if o.BatchSize <= 0 {
+		o.BatchSize = defaultBatchSize
+	}
+	if o.FlushWindow == 0 {
+		o.FlushWindow = defaultFlushWin
+	}
+	if o.FlushWindow < 0 {
+		o.FlushWindow = 0
+	}
+	if o.ControlQueueDepth <= 0 {
+		o.ControlQueueDepth = defaultQueueDepth
+	}
+	if o.DataQueueDepth <= 0 {
+		o.DataQueueDepth = defaultQueueDepth
+	}
+	return o
+}
+
+// peerPipe is the send pipeline of one neighbor.
+type peerPipe struct {
+	node *Node
+	id   topology.NodeID
+
+	// cosmoslint:guards — the queue state lives under mu; the sender
+	// copies batches out and writes them with mu released.
+	mu   sync.Mutex
+	cond *sync.Cond
+	addr string
+	// queue holds control and data envelopes interleaved in enqueue
+	// order (per-peer FIFO is a cross-plane guarantee: a tuple routed
+	// after a propagate must not overtake it on the wire).
+	queue []Envelope
+	ctrl  int // control envelopes in queue
+	ndata int // data envelopes in queue
+	// sending marks a batch taken off the queue but not yet written (or
+	// terminally failed) — Flush waits for it.
+	sending bool
+	closed  bool
+	// windowUp is the flush-window timer's signal to the collect wait
+	// loop: the partial batch has waited long enough.
+	windowUp bool
+	// highwater is the longest queue seen; its increments feed the
+	// monotone transport.queue_depth counter (sum of per-pipe marks).
+	highwater int
+
+	// Byte accounting (pubsub.Fabric Count* calls), per-peer atomics so
+	// accounting never contends with dial/send or Close. Integer sums
+	// are exact; SentBytes converts after summing in sorted peer order
+	// (the float-determinism discipline).
+	dataBytes    atomic.Int64
+	controlBytes atomic.Int64
+
+	// Connection state. Only the sender goroutine dials, encodes and
+	// evicts, so bw/enc need no lock; conn is additionally published
+	// under mu so close() can reach in and unblock a stuck write.
+	conn net.Conn
+	bw   *bufio.Writer
+	enc  *gob.Encoder
+}
+
+func newPeerPipe(n *Node, id topology.NodeID) *peerPipe {
+	p := &peerPipe{node: n, id: id}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// enqueue appends one envelope to the pipe applying the per-plane overflow
+// policy. It returns immediately for data, blocks only on a full control
+// queue, and drops the envelope silently once the pipe is closed (teardown
+// noise, exactly like the v1 errClosed path).
+func (p *peerPipe) enqueue(env Envelope, o Options) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	if env.Kind == MsgData {
+		if p.ndata >= o.DataQueueDepth {
+			// Shed the OLDEST queued tuple so the freshest data
+			// survives; routing goroutines never block on data.
+			for i := range p.queue {
+				if p.queue[i].Kind == MsgData {
+					p.queue = append(p.queue[:i], p.queue[i+1:]...)
+					break
+				}
+			}
+			p.ndata--
+			cDroppedData.Inc()
+		}
+		p.ndata++
+	} else {
+		for p.ctrl >= o.ControlQueueDepth && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			return
+		}
+		p.ctrl++
+	}
+	p.queue = append(p.queue, env)
+	if len(p.queue) > p.highwater {
+		cQueueDepth.Add(int64(len(p.queue) - p.highwater))
+		p.highwater = len(p.queue)
+	}
+	p.cond.Broadcast()
+}
+
+// run is the sender goroutine: collect a batch, write it, repeat until the
+// pipe closes. The batch buffer is reused across iterations, as are the
+// bufio.Writer and gob encoder across batches on one connection.
+func (p *peerPipe) run(o Options) {
+	defer p.node.wg.Done()
+	var batch []Envelope
+	for {
+		var ok bool
+		batch, ok = p.collect(batch[:0], o)
+		if !ok {
+			break
+		}
+		p.writeBatch(batch, o)
+		p.mu.Lock()
+		p.sending = false
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+	p.evictConn()
+}
+
+// collect blocks until there is work, gives a partial batch one flush
+// window to fill, then moves up to BatchSize envelopes into buf. The second
+// return is false when the pipe closed (remaining queue is discarded:
+// teardown drops in-flight traffic exactly like v1's socket close did).
+func (p *peerPipe) collect(buf []Envelope, o Options) ([]Envelope, bool) {
+	p.mu.Lock()
+	for len(p.queue) == 0 && !p.closed {
+		p.cond.Wait()
+	}
+	if p.closed {
+		p.mu.Unlock()
+		return nil, false
+	}
+	if !o.DisableBatching && o.FlushWindow > 0 && len(p.queue) < o.BatchSize {
+		p.windowUp = false
+		t := time.AfterFunc(o.FlushWindow, func() {
+			p.mu.Lock()
+			p.windowUp = true
+			p.mu.Unlock()
+			p.cond.Broadcast()
+		})
+		for len(p.queue) < o.BatchSize && !p.windowUp && !p.closed {
+			p.cond.Wait()
+		}
+		t.Stop()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, false
+		}
+	}
+	take := len(p.queue)
+	if take > o.BatchSize {
+		take = o.BatchSize
+	}
+	buf = append(buf, p.queue[:take]...)
+	rest := copy(p.queue, p.queue[take:])
+	for i := rest; i < len(p.queue); i++ {
+		p.queue[i] = Envelope{} // release payload references to the GC
+	}
+	p.queue = p.queue[:rest]
+	for i := range buf {
+		if buf[i].Kind == MsgData {
+			p.ndata--
+		} else {
+			p.ctrl--
+		}
+	}
+	p.sending = true
+	p.cond.Broadcast() // space freed: wake blocked control enqueuers
+	p.mu.Unlock()
+	return buf, true
+}
+
+// writeBatch puts one batch on the wire with the per-plane retry policy: a
+// failed write evicts the connection (a gob stream cannot resume
+// mid-message) and retries over a fresh dial with capped backoff — minus
+// the data tuples, which get exactly one attempt (at-most-once). Terminal
+// failures are counted and surfaced per envelope through the node's
+// send-error handler. All of it runs on the sender goroutine.
+func (p *peerPipe) writeBatch(batch []Envelope, o Options) {
+	var err error
+	for attempt := 0; attempt < sendAttempts; attempt++ {
+		if attempt > 0 {
+			cSendRetries.Inc()
+			delay := retryBaseDelay << (attempt - 1)
+			if delay > retryMaxDelay {
+				delay = retryMaxDelay
+			}
+			time.Sleep(delay)
+		}
+		err = p.tryWrite(batch, o)
+		if err == nil {
+			return
+		}
+		p.evictConn()
+		if errors.Is(err, errClosed) {
+			return // teardown noise, not a lost link
+		}
+		if attempt == 0 {
+			// The failed attempt consumed the data tuples' single try.
+			kept := batch[:0]
+			for _, env := range batch {
+				if env.Kind == MsgData {
+					p.surfaceLoss(env, err)
+				} else {
+					kept = append(kept, env)
+				}
+			}
+			batch = kept
+			if len(batch) == 0 {
+				return
+			}
+		}
+	}
+	for _, env := range batch {
+		p.surfaceLoss(env, err)
+	}
+}
+
+// surfaceLoss counts one terminally lost envelope and tells the node's
+// send-error handler which peer and kind died. Losses during teardown are
+// not surfaced — a closing node's undeliverable queue is noise, not a dead
+// link.
+func (p *peerPipe) surfaceLoss(env Envelope, err error) {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return
+	}
+	cSendFailures.Inc()
+	if h := p.node.sendErrorHandler(); h != nil {
+		h(p.id, env.Kind, err)
+	}
+}
+
+// tryWrite encodes the batch onto the current connection, dialing first if
+// there is none, and flushes. Batches of more than one envelope ride a
+// single MsgBatch wire message; a batch of one — and every envelope in
+// DisableBatching mode — goes out in the v1 single-envelope framing, so
+// low-rate links and reference-mode nodes interoperate with peers that
+// predate MsgBatch.
+func (p *peerPipe) tryWrite(batch []Envelope, o Options) error {
+	// enc is the sender-owned "connected" marker; the conn field itself
+	// is shared with close() and only touched under mu.
+	if p.enc == nil {
+		if err := p.dial(); err != nil {
+			return err
+		}
+	}
+	var err error
+	if !o.DisableBatching && len(batch) > 1 {
+		err = p.enc.Encode(Envelope{Kind: MsgBatch, From: p.node.ID, Batch: batch})
+		if err == nil {
+			cBatches.Inc()
+			cBatchSize.Add(int64(len(batch)))
+			cWireMsgs.Inc()
+		}
+	} else {
+		for i := range batch {
+			if err = p.enc.Encode(batch[i]); err != nil {
+				break
+			}
+			cWireMsgs.Inc()
+			if o.DisableBatching {
+				// Reference mode models v1: every envelope its own write.
+				if err = p.bw.Flush(); err != nil {
+					break
+				}
+			}
+		}
+	}
+	if err == nil {
+		err = p.bw.Flush()
+	}
+	return err
+}
+
+// dial connects to the peer and installs a fresh buffered writer and gob
+// encoder. Runs on the sender goroutine only.
+func (p *peerPipe) dial() error {
+	p.mu.Lock()
+	addr, closed := p.addr, p.closed
+	p.mu.Unlock()
+	if closed {
+		return fmt.Errorf("transport: node %d: %w", p.node.ID, errClosed)
+	}
+	if addr == "" {
+		return fmt.Errorf("transport: node %d has no address for peer %d", p.node.ID, p.id)
+	}
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return fmt.Errorf("transport: dial peer %d: %w", p.id, err)
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		//lint:errdrop the dial raced the shutdown and is discarded unused
+		_ = conn.Close()
+		return fmt.Errorf("transport: node %d: %w", p.node.ID, errClosed)
+	}
+	p.conn = conn
+	p.mu.Unlock()
+	p.bw = bufio.NewWriterSize(conn, sendBufSize)
+	p.enc = gob.NewEncoder(p.bw)
+	return nil
+}
+
+// evictConn drops the current connection (if any): a failed write poisons
+// the gob stream, so the next attempt must start a fresh one.
+func (p *peerPipe) evictConn() {
+	p.mu.Lock()
+	conn := p.conn
+	p.conn = nil
+	p.mu.Unlock()
+	p.bw, p.enc = nil, nil
+	if conn != nil {
+		//lint:errdrop the write error is the one surfaced; closing the poisoned conn is disposal, not I/O
+		_ = conn.Close()
+	}
+}
+
+// close marks the pipe dead, wakes every waiter (blocked control enqueuers,
+// the sender's wait loops, Flush) and severs the live connection so a
+// sender stuck mid-write errors out instead of pinning Close.
+func (p *peerPipe) close() {
+	p.mu.Lock()
+	p.closed = true
+	conn := p.conn
+	p.conn = nil
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	if conn != nil {
+		//lint:errdrop best-effort teardown: the node is closing
+		_ = conn.Close()
+	}
+}
+
+// drain blocks until the pipe's queue is empty and no batch is in flight
+// (or the pipe closes). Part of Node.Flush's contract.
+func (p *peerPipe) drain() {
+	p.mu.Lock()
+	for (len(p.queue) > 0 || p.sending) && !p.closed {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}

@@ -1,33 +1,21 @@
 package transport
 
 import (
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sort"
 	"sync"
-	"time"
+	"sync/atomic"
 
 	"repro/internal/metrics"
 	"repro/internal/pubsub"
 	"repro/internal/query"
 	"repro/internal/stream"
 	"repro/internal/topology"
-)
-
-// Send self-healing knobs. Control-plane envelopes carry routing state the
-// overlay cannot reconstruct on its own, so a failed send is retried over a
-// fresh connection with capped exponential backoff; data tuples are
-// best-effort (the data plane promises at-most-once) and get one attempt.
-const (
-	sendAttempts   = 4
-	retryBaseDelay = 2 * time.Millisecond
-	retryMaxDelay  = 50 * time.Millisecond
-	// maxRetryBudget bounds concurrently retrying sends per node: past the
-	// budget, failures surface immediately rather than queueing sleeps
-	// behind a dead peer.
-	maxRetryBudget = 64
 )
 
 var errClosed = errors.New("transport: node closed")
@@ -37,6 +25,16 @@ var (
 	cSendRetries  = metrics.GetCounter("transport.send_retries")
 	cUnknownKind  = metrics.GetCounter("transport.unknown_envelope_kind")
 	cMalformed    = metrics.GetCounter("transport.malformed_envelope")
+	// Pipeline counters (pipeline.go): MsgBatch wire messages, the
+	// envelopes they carried (batch_size/batches = mean batch size),
+	// total top-level wire messages written (the syscall proxy), the sum
+	// of per-peer queue high-water marks, and data tuples shed by the
+	// drop-oldest overflow policy.
+	cBatches     = metrics.GetCounter("transport.batches")
+	cBatchSize   = metrics.GetCounter("transport.batch_size")
+	cWireMsgs    = metrics.GetCounter("transport.wire_msgs")
+	cQueueDepth  = metrics.GetCounter("transport.queue_depth")
+	cDroppedData = metrics.GetCounter("transport.dropped_data")
 )
 
 // MsgKind discriminates wire envelopes.
@@ -51,6 +49,9 @@ const (
 	// MsgUnadvertise withdraws an advertisement: the (StreamName, Origin)
 	// advert at epoch Seq or older is pruned along the advert paths.
 	MsgUnadvertise
+	// MsgBatch carries a coalesced run of envelopes from one sender's
+	// pipeline (Batch, in enqueue order). Batches never nest.
+	MsgBatch
 )
 
 // Envelope is the single wire message type.
@@ -68,7 +69,157 @@ type Envelope struct {
 	SubID string
 	Seq   uint64
 	// Data
-	Tuple *stream.Tuple
+	Tuple *WireTuple
+	// Batch (MsgBatch only): the coalesced envelopes, oldest first.
+	Batch []Envelope
+}
+
+// WireTuple is the wire form of stream.Tuple with the attribute map
+// flattened to a name-sorted slice. Two reasons: encode and decode of
+// Attrs dominate the data plane's CPU once batching has removed the
+// syscalls (so WireTuple carries its own GobEncode/GobDecode below, a flat
+// hand-written body instead of gob's per-field reflection), and map
+// iteration order would make the encoded bytes of a multi-attribute tuple
+// differ run to run — sorting makes every envelope byte-stable, which the
+// golden-bytes suite pins.
+type WireTuple struct {
+	Stream    string
+	Timestamp int64
+	Attrs     []WireAttr // sorted by Name
+	Size      int
+}
+
+// WireAttr is one attribute of a WireTuple.
+type WireAttr struct {
+	Name string
+	Val  stream.Value
+}
+
+func toWireTuple(t stream.Tuple) *WireTuple {
+	w := &WireTuple{Stream: t.Stream, Timestamp: t.Timestamp, Size: t.Size}
+	if len(t.Attrs) > 0 {
+		w.Attrs = make([]WireAttr, 0, len(t.Attrs))
+		for name, v := range t.Attrs {
+			//lint:maporder the slice is sorted below; iteration order is unobservable
+			w.Attrs = append(w.Attrs, WireAttr{Name: name, Val: v})
+		}
+		sort.Slice(w.Attrs, func(i, j int) bool { return w.Attrs[i].Name < w.Attrs[j].Name })
+	}
+	return w
+}
+
+// wireTupleVersion tags the hand-written WireTuple body so a future layout
+// change can coexist with old bytes instead of silently misparsing them.
+const wireTupleVersion = 1
+
+// GobEncode writes the flat WireTuple body: version byte, stream name,
+// timestamp, size, then each attribute as (name, value type, float bits,
+// string). Data tuples are the transport's hot path — the manual body costs
+// one buffer alloc where gob's generic struct walk costs a reflect call per
+// field per attribute, and the bytes stay deterministic because Attrs is
+// name-sorted.
+func (w *WireTuple) GobEncode() ([]byte, error) {
+	n := 1 + binary.MaxVarintLen64*3 + len(w.Stream)
+	for _, a := range w.Attrs {
+		n += 2*binary.MaxVarintLen64 + 1 + 8 + len(a.Name) + len(a.Val.S)
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, wireTupleVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(w.Stream)))
+	buf = append(buf, w.Stream...)
+	buf = binary.AppendVarint(buf, w.Timestamp)
+	buf = binary.AppendVarint(buf, int64(w.Size))
+	buf = binary.AppendUvarint(buf, uint64(len(w.Attrs)))
+	for _, a := range w.Attrs {
+		buf = binary.AppendUvarint(buf, uint64(len(a.Name)))
+		buf = append(buf, a.Name...)
+		buf = append(buf, byte(a.Val.Type))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(a.Val.F))
+		buf = binary.AppendUvarint(buf, uint64(len(a.Val.S)))
+		buf = append(buf, a.Val.S...)
+	}
+	return buf, nil
+}
+
+var errBadWireTuple = errors.New("transport: malformed WireTuple body")
+
+// GobDecode parses the body written by GobEncode.
+func (w *WireTuple) GobDecode(data []byte) error {
+	if len(data) == 0 || data[0] != wireTupleVersion {
+		return errBadWireTuple
+	}
+	data = data[1:]
+	str := func() (string, bool) {
+		l, n := binary.Uvarint(data)
+		if n <= 0 || uint64(len(data)-n) < l {
+			return "", false
+		}
+		s := string(data[n : n+int(l)])
+		data = data[n+int(l):]
+		return s, true
+	}
+	varint := func() (int64, bool) {
+		v, n := binary.Varint(data)
+		if n <= 0 {
+			return 0, false
+		}
+		data = data[n:]
+		return v, true
+	}
+	var ok bool
+	if w.Stream, ok = str(); !ok {
+		return errBadWireTuple
+	}
+	if w.Timestamp, ok = varint(); !ok {
+		return errBadWireTuple
+	}
+	size, ok := varint()
+	if !ok {
+		return errBadWireTuple
+	}
+	w.Size = int(size)
+	count, n := binary.Uvarint(data)
+	if n <= 0 || count > uint64(len(data)) { // each attr needs ≥1 byte
+		return errBadWireTuple
+	}
+	data = data[n:]
+	w.Attrs = nil
+	if count > 0 {
+		w.Attrs = make([]WireAttr, count)
+		for i := range w.Attrs {
+			a := &w.Attrs[i]
+			if a.Name, ok = str(); !ok {
+				return errBadWireTuple
+			}
+			if len(data) < 9 {
+				return errBadWireTuple
+			}
+			a.Val.Type = stream.AttrType(data[0])
+			a.Val.F = math.Float64frombits(binary.BigEndian.Uint64(data[1:9]))
+			data = data[9:]
+			if a.Val.S, ok = str(); !ok {
+				return errBadWireTuple
+			}
+		}
+	}
+	if len(data) != 0 {
+		return errBadWireTuple
+	}
+	return nil
+}
+
+func fromWireTuple(w *WireTuple) stream.Tuple {
+	// Relay carries the decoded wire form alongside the tuple: if the
+	// broker forwards it whole (no projection), the next hop's envelope
+	// reuses w instead of re-flattening and re-sorting the attribute map.
+	t := stream.Tuple{Stream: w.Stream, Timestamp: w.Timestamp, Size: w.Size, Relay: w}
+	if len(w.Attrs) > 0 {
+		t.Attrs = make(map[string]stream.Value, len(w.Attrs))
+		for _, a := range w.Attrs {
+			t.Attrs[a.Name] = a.Val
+		}
+	}
+	return t
 }
 
 // WireSubscription is the gob-friendly form of pubsub.Subscription (the
@@ -150,46 +301,49 @@ func fromWire(w *WireSubscription) *pubsub.Subscription {
 	return s
 }
 
-// Node hosts one broker over TCP.
+// Node hosts one broker over TCP. Outbound traffic flows through per-peer
+// send pipelines (pipeline.go); inbound connections are served by one
+// decode goroutine each.
 type Node struct {
 	ID     topology.NodeID
 	Broker *pubsub.Broker
 
+	opts Options
+
 	mu      sync.Mutex
 	ln      net.Listener
-	peers   map[topology.NodeID]*peerConn
-	addrs   map[topology.NodeID]string
+	pipes   map[topology.NodeID]*peerPipe
 	inbound map[net.Conn]bool
-	data    map[topology.NodeID]float64
-	control map[topology.NodeID]float64
 	closed  bool
 	wg      sync.WaitGroup
 
-	retrySlots  int
+	// pipesSnap is an immutable copy of pipes, swapped on every pipe
+	// creation. Per-tuple lookups (deliver, byte accounting) read it
+	// lock-free; only a first contact with a new peer takes n.mu.
+	pipesSnap atomic.Pointer[map[topology.NodeID]*peerPipe]
+
+	wrap        pubsub.PeerWrapper
 	onSendError func(peer topology.NodeID, kind MsgKind, err error)
 }
 
-type peerConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
+// NewNode creates a broker node listening on addr (e.g. "127.0.0.1:0") with
+// default pipeline options.
+func NewNode(id topology.NodeID, addr string) (*Node, error) {
+	return NewNodeWith(id, addr, Options{})
 }
 
-// NewNode creates a broker node listening on addr (e.g. "127.0.0.1:0").
-func NewNode(id topology.NodeID, addr string) (*Node, error) {
+// NewNodeWith creates a broker node with explicit pipeline options.
+func NewNodeWith(id topology.NodeID, addr string, opts Options) (*Node, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	n := &Node{
-		ID:         id,
-		ln:         ln,
-		peers:      make(map[topology.NodeID]*peerConn),
-		addrs:      make(map[topology.NodeID]string),
-		inbound:    make(map[net.Conn]bool),
-		data:       make(map[topology.NodeID]float64),
-		control:    make(map[topology.NodeID]float64),
-		retrySlots: maxRetryBudget,
+		ID:      id,
+		opts:    opts.withDefaults(),
+		ln:      ln,
+		pipes:   make(map[topology.NodeID]*peerPipe),
+		inbound: make(map[net.Conn]bool),
 	}
 	n.Broker = pubsub.NewBroker(n, id)
 	n.wg.Add(1)
@@ -203,10 +357,58 @@ func (n *Node) Addr() string { return n.ln.Addr().String() }
 // Connect registers a neighbor at the given address. Both ends must connect
 // to each other (the overlay is built from a static edge list).
 func (n *Node) Connect(peer topology.NodeID, addr string) {
-	n.mu.Lock()
-	n.addrs[peer] = addr
-	n.mu.Unlock()
+	p := n.pipe(peer)
+	p.mu.Lock()
+	p.addr = addr
+	p.mu.Unlock()
 	n.Broker.AddNeighbor(peer)
+}
+
+// pipe returns the peer's send pipeline, creating it (and starting its
+// sender goroutine) on first use. Creation is the only per-peer work that
+// touches n.mu; dialing and sending happen on the sender goroutine, so a
+// slow peer never stalls another peer's sends, byte accounting, or Close.
+func (n *Node) pipe(peer topology.NodeID) *peerPipe {
+	if snap := n.pipesSnap.Load(); snap != nil {
+		if p, ok := (*snap)[peer]; ok {
+			return p
+		}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p, ok := n.pipes[peer]
+	if !ok {
+		p = newPeerPipe(n, peer)
+		n.pipes[peer] = p
+		snap := make(map[topology.NodeID]*peerPipe, len(n.pipes))
+		for id, pp := range n.pipes {
+			snap[id] = pp
+		}
+		n.pipesSnap.Store(&snap)
+		if n.closed {
+			p.closed = true
+		} else {
+			n.wg.Add(1)
+			go p.run(n.opts)
+		}
+	}
+	return p
+}
+
+// pipesSnapshot returns the live pipes in ascending peer order.
+func (n *Node) pipesSnapshot() []*peerPipe {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ids := make([]topology.NodeID, 0, len(n.pipes))
+	for id := range n.pipes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]*peerPipe, len(ids))
+	for i, id := range ids {
+		out[i] = n.pipes[id]
+	}
+	return out
 }
 
 // Close shuts the node down and waits for its goroutines.
@@ -218,17 +420,32 @@ func (n *Node) Close() error {
 	}
 	n.closed = true
 	err := n.ln.Close()
-	for _, p := range n.peers {
-		//lint:errdrop best-effort teardown: the node is closing and the listener error above is the one reported
-		_ = p.conn.Close()
+	pipes := make([]*peerPipe, 0, len(n.pipes))
+	for _, p := range n.pipes {
+		//lint:maporder each pipe gets one independent close; visit order is unobservable
+		pipes = append(pipes, p)
 	}
 	for c := range n.inbound {
 		//lint:errdrop best-effort teardown: the node is closing and the listener error above is the one reported
 		_ = c.Close()
 	}
 	n.mu.Unlock()
+	for _, p := range pipes {
+		p.close()
+	}
 	n.wg.Wait()
 	return err
+}
+
+// Flush blocks until every envelope enqueued before the call has been
+// handed to the operating system (or shed/terminally failed by policy) and
+// the connection buffers are flushed. It says nothing about the REMOTE
+// side having processed the envelopes — drain oracles over an overlay still
+// poll the receiving brokers. pubsub.Flusher seam for Quiesce-style oracles.
+func (n *Node) Flush() {
+	for _, p := range n.pipesSnapshot() {
+		p.drain()
+	}
 }
 
 // accept serves inbound envelope streams.
@@ -268,140 +485,88 @@ func (n *Node) serve(conn net.Conn) {
 		if err := dec.Decode(&env); err != nil {
 			return
 		}
-		switch env.Kind {
-		case MsgAdvert:
-			n.Broker.AdvertFrom(env.From, env.StreamName, env.Origin, env.Seq)
-		case MsgUnadvertise:
-			n.Broker.UnadvertFrom(env.From, env.StreamName, env.Origin, env.Seq)
-		case MsgSubscribe:
-			if env.Sub == nil {
+		if env.Kind == MsgBatch {
+			if len(env.Batch) == 0 {
 				cMalformed.Inc()
 				continue
 			}
-			n.Broker.PropagateFrom(fromWire(env.Sub), env.From)
-		case MsgUnsubscribe:
-			n.Broker.RetractFrom(env.From, env.SubID, env.Seq)
-		case MsgData:
-			if env.Tuple == nil {
-				cMalformed.Inc()
-				continue
+			for i := range env.Batch {
+				if env.Batch[i].Kind == MsgBatch {
+					cMalformed.Inc() // batches never nest
+					continue
+				}
+				n.dispatch(env.Batch[i])
 			}
-			n.Broker.RouteFrom(*env.Tuple, env.From)
-		default:
-			cUnknownKind.Inc()
+			continue
 		}
+		n.dispatch(env)
 	}
 }
 
-// send delivers one envelope to a peer, dialing lazily. A failed encode
-// leaves the gob stream (and usually the connection) broken, so the cached
-// peerConn is evicted and closed — the next send redials instead of
-// inheriting a poisoned encoder. The eviction is identity-checked under
-// n.mu: a concurrent sender may already have replaced the entry.
-func (n *Node) send(peer topology.NodeID, env Envelope) error {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		return fmt.Errorf("transport: node %d: %w", n.ID, errClosed)
-	}
-	pc, ok := n.peers[peer]
-	if !ok {
-		addr, known := n.addrs[peer]
-		if !known {
-			n.mu.Unlock()
-			return fmt.Errorf("transport: node %d has no address for peer %d", n.ID, peer)
-		}
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			n.mu.Unlock()
-			return fmt.Errorf("transport: dial peer %d: %w", peer, err)
-		}
-		pc = &peerConn{conn: conn, enc: gob.NewEncoder(conn)}
-		n.peers[peer] = pc
-	}
-	n.mu.Unlock()
-
-	pc.mu.Lock()
-	err := pc.enc.Encode(env)
-	pc.mu.Unlock()
-	if err != nil {
-		//lint:errdrop the encode error is the one propagated; closing the poisoned conn is disposal, not I/O
-		_ = pc.conn.Close()
-		n.mu.Lock()
-		if n.peers[peer] == pc {
-			delete(n.peers, peer)
-		}
-		n.mu.Unlock()
-		return fmt.Errorf("transport: send to peer %d: %w", peer, err)
-	}
-	return nil
-}
-
-// acquireRetrySlot claims one unit of the node's in-flight retry budget.
-func (n *Node) acquireRetrySlot() bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closed || n.retrySlots <= 0 {
-		return false
-	}
-	n.retrySlots--
-	return true
-}
-
-func (n *Node) releaseRetrySlot() {
-	n.mu.Lock()
-	n.retrySlots++
-	n.mu.Unlock()
-}
-
-// deliver sends one envelope with the per-kind retry policy and surfaces
-// terminal failures instead of dropping them on the floor: the failure
-// counter always moves, and the node's send-error handler (if any) is told
-// which peer and kind were lost so the layer above can repair (e.g. declare
-// the link failed and re-attach).
-func (n *Node) deliver(peer topology.NodeID, env Envelope) {
-	err := n.send(peer, env)
-	if err == nil {
-		return
-	}
-	attempts := sendAttempts
-	if env.Kind == MsgData {
-		attempts = 1 // data plane is at-most-once; never retry tuples
-	}
-	for try := 1; try < attempts && !errors.Is(err, errClosed); try++ {
-		if !n.acquireRetrySlot() {
-			break
-		}
-		cSendRetries.Inc()
-		delay := retryBaseDelay << (try - 1)
-		if delay > retryMaxDelay {
-			delay = retryMaxDelay
-		}
-		time.Sleep(delay)
-		err = n.send(peer, env)
-		n.releaseRetrySlot()
-		if err == nil {
+// dispatch hands one protocol envelope to the broker. Called for plain
+// envelopes and for each member of a batch — the broker (and anything
+// wrapped around it) always sees individual protocol messages, whatever
+// framing they arrived in.
+func (n *Node) dispatch(env Envelope) {
+	switch env.Kind {
+	case MsgAdvert:
+		n.Broker.AdvertFrom(env.From, env.StreamName, env.Origin, env.Seq)
+	case MsgUnadvertise:
+		n.Broker.UnadvertFrom(env.From, env.StreamName, env.Origin, env.Seq)
+	case MsgSubscribe:
+		if env.Sub == nil {
+			cMalformed.Inc()
 			return
 		}
+		n.Broker.PropagateFrom(fromWire(env.Sub), env.From)
+	case MsgUnsubscribe:
+		n.Broker.RetractFrom(env.From, env.SubID, env.Seq)
+	case MsgData:
+		if env.Tuple == nil {
+			cMalformed.Inc()
+			return
+		}
+		n.Broker.RouteFrom(fromWireTuple(env.Tuple), env.From)
+	default:
+		cUnknownKind.Inc()
 	}
-	if errors.Is(err, errClosed) {
-		return // teardown noise, not a lost link
-	}
-	cSendFailures.Inc()
+}
+
+// deliver enqueues one envelope on the peer's send pipeline. Non-blocking
+// for data (drop-oldest under pressure); control blocks only at the
+// configured queue bound (backpressure). Everything downstream — dialing,
+// batching, retry backoff, terminal-failure surfacing — runs on the pipe's
+// sender goroutine, never on the calling (routing) goroutine.
+func (n *Node) deliver(peer topology.NodeID, env Envelope) {
+	n.pipe(peer).enqueue(env, n.opts)
+}
+
+// sendErrorHandler returns the registered terminal-loss callback.
+func (n *Node) sendErrorHandler() func(peer topology.NodeID, kind MsgKind, err error) {
 	n.mu.Lock()
-	h := n.onSendError
-	n.mu.Unlock()
-	if h != nil {
-		h(peer, env.Kind, err)
-	}
+	defer n.mu.Unlock()
+	return n.onSendError
 }
 
 // SetSendErrorHandler installs a callback invoked whenever an envelope is
-// lost for good (all retries exhausted). The callback runs on the sending
-// goroutine; it must not call back into Node under the broker's lock.
+// lost for good (all retries exhausted, or a data tuple's single attempt
+// failed). The callback runs on the pipe's sender goroutine; it must not
+// block it indefinitely.
 func (n *Node) SetSendErrorHandler(h func(peer topology.NodeID, kind MsgKind, err error)) {
 	n.mu.Lock()
 	n.onSendError = h
+	n.mu.Unlock()
+}
+
+// SetPeerWrapper installs (or, with nil, removes) a pubsub.PeerWrapper
+// around the node's outbound peer endpoints — the same fault-injection seam
+// Network.SetPeerWrapper provides in-process. The wrapper sees every
+// individual protocol message BEFORE it enters the send pipeline, so a
+// chaos fabric's per-message fate draws are batching-agnostic: faults apply
+// per envelope, never per batch.
+func (n *Node) SetPeerWrapper(w pubsub.PeerWrapper) {
+	n.mu.Lock()
+	n.wrap = w
 	n.mu.Unlock()
 }
 
@@ -428,47 +593,54 @@ func (r remotePeer) RetractFrom(from topology.NodeID, id string, seq uint64) {
 }
 
 func (r remotePeer) RouteFrom(t stream.Tuple, from topology.NodeID) {
-	r.n.deliver(r.id, Envelope{Kind: MsgData, From: from, Tuple: &t})
+	// A relayed tuple forwarded whole already carries its wire form
+	// (fromWireTuple stashed it in Relay; projection would have dropped
+	// it). WireTuples are immutable once enqueued, so sharing one across
+	// output pipes is safe. The field guard is belt-and-braces against a
+	// future caller attaching a stale hint.
+	w, ok := t.Relay.(*WireTuple)
+	if !ok || w.Stream != t.Stream || w.Timestamp != t.Timestamp ||
+		w.Size != t.Size || len(w.Attrs) != len(t.Attrs) {
+		w = toWireTuple(t)
+	}
+	r.n.deliver(r.id, Envelope{Kind: MsgData, From: from, Tuple: w})
 }
 
 // Peer implements pubsub.Fabric.
-func (n *Node) Peer(id topology.NodeID) pubsub.Peer { return remotePeer{n: n, id: id} }
-
-// CountControl implements pubsub.Fabric.
-func (n *Node) CountControl(_, to topology.NodeID, size int) {
+func (n *Node) Peer(id topology.NodeID) pubsub.Peer {
+	var p pubsub.Peer = remotePeer{n: n, id: id}
 	n.mu.Lock()
-	n.control[to] += float64(size)
+	w := n.wrap
 	n.mu.Unlock()
+	if w != nil {
+		p = w.WrapPeer(id, p)
+	}
+	return p
+}
+
+// CountControl implements pubsub.Fabric. Per-peer atomics: accounting from
+// routing goroutines never contends with dials, sends, or Close.
+func (n *Node) CountControl(_, to topology.NodeID, size int) {
+	n.pipe(to).controlBytes.Add(int64(size))
 }
 
 // CountData implements pubsub.Fabric.
 func (n *Node) CountData(_, to topology.NodeID, size int) {
-	n.mu.Lock()
-	n.data[to] += float64(size)
-	n.mu.Unlock()
+	n.pipe(to).dataBytes.Add(int64(size))
 }
 
 // SentBytes returns the data and control bytes this node sent per peer.
+// Per-peer totals are integers (exact), summed in ascending peer order and
+// converted to float last — the float-determinism discipline: were these
+// float sums, map order would drift the total bit-for-bit across runs.
 func (n *Node) SentBytes() (data, control float64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return sumByPeer(n.data), sumByPeer(n.control)
-}
-
-// sumByPeer adds per-peer byte totals in ascending peer order: float
-// addition is not associative, so a map-order sum would drift bit-for-bit
-// across runs (the TrafficReport bug class).
-func sumByPeer(m map[topology.NodeID]float64) float64 {
-	ids := make([]topology.NodeID, 0, len(m))
-	for id := range m {
-		ids = append(ids, id)
+	var d, c int64
+	for _, p := range n.pipesSnapshot() {
+		d += p.dataBytes.Load()
+		c += p.controlBytes.Load()
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	var total float64
-	for _, id := range ids {
-		total += m[id]
-	}
-	return total
+	return float64(d), float64(c)
 }
 
 var _ pubsub.Fabric = (*Node)(nil)
+var _ pubsub.Flusher = (*Node)(nil)
