@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# node-smoke: boot the deploy/compose three-node overlay as real containers
+# and walk the deployment lifecycle end to end — the CI lane proving the
+# binary deploys, not just that its packages test green:
+#
+#   1. build the image and bring up the 0 — 1 — 2 line topology
+#   2. every node reports /healthz status=ok; the subscriber reaches
+#      ready=true via advert arrival (no sleeps anywhere in this script's
+#      success path — every wait polls an observable condition)
+#   3. filtered tuples flow end to end (msg=delivery in the subscriber log)
+#   4. /metrics serves Prometheus text with live routing counters and
+#      /debug/overlay.dot renders the live topology on every node
+#   5. SIGTERM the publisher: it logs msg=drained and exits 0, and the
+#      survivors' routing state drains to empty (cosmos_adverts_learned 0,
+#      cosmos_routing_remote_records 0 — the drain-to-empty invariant,
+#      observed over real TCP between processes)
+#
+# Requirements: docker compose v2 and curl on the host. Set
+# NODE_SMOKE_ARTIFACTS to a directory to keep per-node logs (CI uploads
+# them on failure). Runs from any cwd; cleans up its containers on exit.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+COMPOSE=(docker compose -f deploy/compose/docker-compose.yml)
+ARTIFACTS="${NODE_SMOKE_ARTIFACTS:-}"
+NODES=(node0 node1 node2)
+PORTS=(18080 18081 18082)
+
+fail() {
+  echo "node-smoke: FAIL: $*" >&2
+  exit 1
+}
+
+cleanup() {
+  status=$?
+  if [ -n "$ARTIFACTS" ]; then
+    mkdir -p "$ARTIFACTS"
+    for n in "${NODES[@]}"; do
+      "${COMPOSE[@]}" logs --no-color --no-log-prefix "$n" >"$ARTIFACTS/$n.log" 2>&1 || true
+    done
+  fi
+  if [ "$status" -ne 0 ]; then
+    echo "--- compose logs at failure ---"
+    "${COMPOSE[@]}" logs --no-color --tail 50 || true
+  fi
+  "${COMPOSE[@]}" down -v --timeout 5 >/dev/null 2>&1 || true
+  exit "$status"
+}
+trap cleanup EXIT
+
+# ops PORT PATH — fetch an ops endpoint; non-2xx (the degraded 503) fails.
+ops() {
+  curl -fsS --max-time 5 "http://127.0.0.1:$1$2"
+}
+
+# wait_for SECONDS WHAT CMD... — poll CMD once a second until it succeeds.
+wait_for() {
+  local deadline=$(($(date +%s) + $1)) what=$2
+  shift 2
+  until "$@" >/dev/null 2>&1; do
+    if [ "$(date +%s)" -ge "$deadline" ]; then
+      fail "timed out waiting for $what"
+    fi
+    sleep 1
+  done
+  echo "node-smoke: ok: $what"
+}
+
+healthz_ok() { ops "$1" /healthz | grep -q 'status=ok'; }
+ready_true() { ops "$1" /healthz | grep -q 'ready=true'; }
+delivery_logged() { "${COMPOSE[@]}" logs --no-color node2 | grep -q 'msg=delivery'; }
+survivor_drained() {
+  local m
+  m=$(ops "$1" /metrics)
+  grep -qx 'cosmos_adverts_learned 0' <<<"$m" &&
+    grep -qx 'cosmos_routing_remote_records 0' <<<"$m"
+}
+
+echo "node-smoke: building image"
+"${COMPOSE[@]}" build
+echo "node-smoke: starting the overlay"
+"${COMPOSE[@]}" up -d
+
+# --- liveness and readiness --------------------------------------------
+for i in 0 1 2; do
+  wait_for 90 "node$i /healthz status=ok" healthz_ok "${PORTS[$i]}"
+done
+# The subscriber flips ready once Station1's advert flood has arrived —
+# the condition the removed startup sleeps used to approximate.
+wait_for 60 "subscriber ready=true (advert flood arrived)" ready_true "${PORTS[2]}"
+
+# --- end-to-end filtered delivery --------------------------------------
+wait_for 60 "filtered delivery at the subscriber" delivery_logged
+
+# --- metrics and overlay rendering on every node ------------------------
+for i in 0 1 2; do
+  metrics=$(ops "${PORTS[$i]}" /metrics)
+  for name in cosmos_pubsub_routed_tuples cosmos_transport_wire_msgs \
+    cosmos_adverts_learned cosmos_routing_remote_records cosmos_node_ready; do
+    grep -q "^$name " <<<"$metrics" || fail "node$i /metrics missing $name"
+  done
+  dot=$(ops "${PORTS[$i]}" /debug/overlay.dot)
+  grep -q 'graph cosmos {' <<<"$dot" || fail "node$i overlay.dot is not DOT"
+  grep -q "n$i -- " <<<"$dot" || fail "node$i overlay.dot has no edges"
+done
+echo "node-smoke: ok: /metrics and /debug/overlay.dot on every node"
+
+# The publisher must have routed actual traffic by now.
+routed=$(ops "${PORTS[0]}" /metrics | awk '$1 == "cosmos_pubsub_routed_tuples" { print $2 }')
+if [ -z "$routed" ] || [ "$routed" -le 0 ]; then
+  fail "publisher routed no tuples (cosmos_pubsub_routed_tuples=$routed)"
+fi
+echo "node-smoke: ok: publisher routed $routed tuples"
+
+# --- graceful drain ------------------------------------------------------
+cid=$("${COMPOSE[@]}" ps -q node0)
+echo "node-smoke: SIGTERM node0 (graceful drain)"
+"${COMPOSE[@]}" kill -s SIGTERM node0
+exit_code=$(timeout 30 docker wait "$cid") || fail "node0 did not exit after SIGTERM"
+[ "$exit_code" = "0" ] || fail "node0 exited $exit_code after SIGTERM, want 0"
+"${COMPOSE[@]}" logs --no-color node0 | grep -q 'msg=drained' ||
+  fail "node0 closed without logging a completed drain"
+echo "node-smoke: ok: node0 drained and exited 0"
+
+# The survivors must shed every trace of the departed publisher: its
+# advert withdrawal prunes their learned adverts AND the remote
+# subscription records those adverts justified (the mirror rule). The
+# subscriber's own local subscription survives, which is why
+# cosmos_routing_local_records is not asserted zero.
+for i in 1 2; do
+  wait_for 30 "node$i residual routing state drained to empty" survivor_drained "${PORTS[$i]}"
+done
+
+echo "node-smoke: PASS"

@@ -1,189 +1,71 @@
 // Command cosmos-node runs one Pub/Sub broker node over TCP — the same
-// routing code the embedded middleware uses, deployed as separate
-// processes. Wire a small overlay by hand and watch advertisements,
-// subscriptions and filtered data flow between machines.
+// routing code the embedded middleware uses, deployed as a standalone
+// service. Configuration layers environment over config file over flags
+// (internal/nodeconfig); logs are structured key=value lines on stderr
+// (internal/logging); an optional ops HTTP listener serves /healthz,
+// /metrics (Prometheus text format) and /debug/overlay.dot; SIGTERM drains
+// the node's routing state off the overlay before closing (see OPS.md).
 //
 // Example (three shells):
 //
 //	cosmos-node -id 0 -listen :7000 -peers 1=localhost:7001 \
-//	    -advertise Station1 -publish Station1
+//	    -advertise Station1 -publish Station1 -ops-listen :8080
 //	cosmos-node -id 1 -listen :7001 -peers 0=localhost:7000,2=localhost:7002
 //	cosmos-node -id 2 -listen :7002 -peers 1=localhost:7001 \
 //	    -subscribe 'Station1:snowHeight>40'
 //
 // Node 0 publishes synthetic snow readings once a second; node 2 receives
 // only those exceeding the filter, with node 1 forwarding one copy per
-// link and filtering as early as its routing tables allow.
+// link and filtering as early as its routing tables allow. deploy/compose
+// runs the same topology as three containers.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
-	"time"
 
-	"repro/internal/pubsub"
-	"repro/internal/query"
-	"repro/internal/stream"
-	"repro/internal/topology"
-	"repro/internal/trace"
-	"repro/internal/transport"
+	"repro/internal/logging"
+	"repro/internal/nodeconfig"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "cosmos-node:", err)
 		os.Exit(1)
 	}
 }
 
 func run(args []string) error {
-	fs := flag.NewFlagSet("cosmos-node", flag.ContinueOnError)
-	id := fs.Int("id", 0, "node ID")
-	listen := fs.String("listen", "127.0.0.1:0", "listen address")
-	peers := fs.String("peers", "", "overlay neighbors as id=addr[,id=addr...]")
-	advertise := fs.String("advertise", "", "comma-separated stream names this node publishes")
-	publish := fs.String("publish", "", "publish synthetic readings on this stream (1/sec)")
-	subscribe := fs.String("subscribe", "", "subscription as stream[:attr>num] (also <, >=, <=)")
-	period := fs.Duration("period", time.Second, "publish period")
-	batchSize := fs.Int("batch-size", 0, "max envelopes per transport batch (0 = default 64)")
-	flushWindow := fs.Duration("flush-window", 0, "how long a partial batch waits for more traffic (0 = default 1ms, negative = flush immediately)")
-	queueDepth := fs.Int("queue-depth", 0, "per-peer send queue bound, both planes (0 = default 4096)")
-	noBatching := fs.Bool("no-batching", false, "v1 framing: one wire message per envelope (for single-envelope peers)")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-
-	node, err := transport.NewNodeWith(topology.NodeID(*id), *listen, transport.Options{
-		BatchSize:         *batchSize,
-		FlushWindow:       *flushWindow,
-		ControlQueueDepth: *queueDepth,
-		DataQueueDepth:    *queueDepth,
-		DisableBatching:   *noBatching,
-	})
+	cfg, err := nodeconfig.Load(args, os.LookupEnv, os.Stderr)
 	if err != nil {
 		return err
 	}
-	defer node.Close()
-	fmt.Printf("node %d listening on %s\n", *id, node.Addr())
+	level, err := logging.ParseLevel(cfg.LogLevel)
+	if err != nil {
+		return err // unreachable: Validate already vetted the name
+	}
+	log := logging.New(os.Stderr, level).With("node", cfg.NodeID)
 
-	if *peers != "" {
-		for _, p := range strings.Split(*peers, ",") {
-			idAddr := strings.SplitN(strings.TrimSpace(p), "=", 2)
-			if len(idAddr) != 2 {
-				return fmt.Errorf("bad peer %q (want id=addr)", p)
-			}
-			pid, err := strconv.Atoi(idAddr[0])
-			if err != nil {
-				return fmt.Errorf("bad peer id %q: %v", idAddr[0], err)
-			}
-			node.Connect(topology.NodeID(pid), idAddr[1])
-			fmt.Printf("  neighbor %d at %s\n", pid, idAddr[1])
-		}
+	svc, err := newService(cfg, log)
+	if err != nil {
+		return err
 	}
-	// Give neighbors a moment to come up, then advertise.
-	time.Sleep(500 * time.Millisecond)
-	for _, name := range splitNonEmpty(*advertise) {
-		node.Broker.Advertise(name)
-		fmt.Printf("  advertised %s\n", name)
-	}
-	if *publish != "" && *advertise == "" {
-		node.Broker.Advertise(*publish)
+	if err := svc.Start(); err != nil {
+		svc.Close()
+		return err
 	}
 
-	if *subscribe != "" {
-		sub, err := parseSubscription(fmt.Sprintf("n%d", *id), *subscribe)
-		if err != nil {
-			return err
-		}
-		// Wait for advertisements to flood before subscribing.
-		time.Sleep(time.Second)
-		err = node.Broker.Subscribe(sub, func(_ *pubsub.Subscription, t stream.Tuple) {
-			fmt.Printf("  [%s] ts=%d %v\n", t.Stream, t.Timestamp, t.Attrs)
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("  subscribed: %s\n", sub)
-	}
-
-	stopCh := make(chan os.Signal, 1)
-	signal.Notify(stopCh, os.Interrupt, syscall.SIGTERM)
-
-	if *publish != "" {
-		gen, err := trace.New(trace.Config{
-			Stations:     4,
-			Deployments:  1,
-			PeriodMillis: period.Milliseconds(),
-			Seed:         uint64(*id) + 1,
-		})
-		if err != nil {
-			return err
-		}
-		ticker := time.NewTicker(*period)
-		defer ticker.Stop()
-		fmt.Printf("publishing on %s every %v (ctrl-c to stop)\n", *publish, *period)
-		for {
-			select {
-			case <-ticker.C:
-				for _, t := range gen.Next() {
-					t.Stream = *publish
-					node.Broker.Publish(t)
-				}
-				data, ctrl := node.SentBytes()
-				fmt.Printf("  sent: %.0f data B, %.0f control B\n", data, ctrl)
-			case <-stopCh:
-				return nil
-			}
-		}
-	}
-
-	fmt.Println("running (ctrl-c to stop)")
-	<-stopCh
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	sig := <-stop
+	log.Info("signal received, draining", "signal", sig.String())
+	svc.Shutdown()
 	return nil
-}
-
-func splitNonEmpty(s string) []string {
-	var out []string
-	for _, p := range strings.Split(s, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
-}
-
-// parseSubscription parses "stream" or "stream:attr OP number" with OP one
-// of > >= < <=.
-func parseSubscription(id, s string) (*pubsub.Subscription, error) {
-	parts := strings.SplitN(s, ":", 2)
-	sub := &pubsub.Subscription{ID: id, Streams: []string{strings.TrimSpace(parts[0])}}
-	if len(parts) == 1 {
-		return sub, nil
-	}
-	expr := strings.TrimSpace(parts[1])
-	for _, op := range []struct {
-		tok string
-		op  query.Op
-	}{{">=", query.Ge}, {"<=", query.Le}, {">", query.Gt}, {"<", query.Lt}} {
-		if i := strings.Index(expr, op.tok); i > 0 {
-			attr := strings.TrimSpace(expr[:i])
-			v, err := strconv.ParseFloat(strings.TrimSpace(expr[i+len(op.tok):]), 64)
-			if err != nil {
-				return nil, fmt.Errorf("bad filter %q: %v", expr, err)
-			}
-			lit := stream.FloatVal(v)
-			sub.Filters = append(sub.Filters, query.Predicate{
-				Left:  query.Operand{Col: &query.ColRef{Attr: attr}},
-				Op:    op.op,
-				Right: query.Operand{Lit: &lit},
-			})
-			return sub, nil
-		}
-	}
-	return nil, fmt.Errorf("bad filter %q (want attr OP number)", expr)
 }

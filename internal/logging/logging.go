@@ -1,0 +1,217 @@
+// Package logging is the node's structured, leveled logger: one line per
+// event, `key=value` pairs, a fixed level gate. It exists so the deployable
+// node (cmd/cosmos-node) and the libraries it threads the Logger interface
+// through (internal/transport, internal/pubsub) emit operator-greppable
+// logs instead of free-form Printf — the compose smoke and the OPS.md
+// runbook both key off the msg= and field names, so they are part of the
+// node's operational contract (see OPS.md "Log schema").
+//
+// The interface is deliberately tiny: four level methods taking alternating
+// key/value pairs, With for binding permanent fields (node=3), Enabled for
+// guarding expensive field construction on hot paths. Libraries accept a
+// Logger and never construct one; Nop() is the default wiring, so a library
+// holding a Logger costs one interface word and a predictable-false branch
+// when logging is off.
+package logging
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities. The zero value is LevelDebug; a Logger
+// emits records at or above its configured minimum.
+type Level int32
+
+// Severity levels, least severe first.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+	// LevelOff is above every severity: a logger gated at LevelOff emits
+	// nothing (the level string "off" in config).
+	LevelOff
+)
+
+// String returns the level's lowercase name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	case LevelOff:
+		return "off"
+	}
+	return fmt.Sprintf("level(%d)", int32(l))
+}
+
+// ParseLevel maps a level name ("debug", "info", "warn", "error", "off",
+// case-insensitive) to its Level. The error names the bad value.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	case "off", "none":
+		return LevelOff, nil
+	}
+	return LevelInfo, fmt.Errorf("logging: unknown level %q (want debug, info, warn, error or off)", s)
+}
+
+// Logger is the structured logging interface threaded through the node's
+// libraries. kv is alternating key/value pairs; a trailing key without a
+// value is rendered with the value "!MISSING". Implementations must be safe
+// for concurrent use.
+type Logger interface {
+	Debug(msg string, kv ...any)
+	Info(msg string, kv ...any)
+	Warn(msg string, kv ...any)
+	Error(msg string, kv ...any)
+	// With returns a Logger that appends the given pairs to every record.
+	With(kv ...any) Logger
+	// Enabled reports whether records at the given level would be
+	// emitted — the guard for hot paths that would otherwise build
+	// fields for a record the gate drops.
+	Enabled(l Level) bool
+}
+
+// Nop returns the do-nothing Logger: every method is a no-op and Enabled is
+// always false. The default for every library seam.
+func Nop() Logger { return nopLogger{} }
+
+type nopLogger struct{}
+
+func (nopLogger) Debug(string, ...any) {}
+func (nopLogger) Info(string, ...any)  {}
+func (nopLogger) Warn(string, ...any)  {}
+func (nopLogger) Error(string, ...any) {}
+func (nopLogger) With(...any) Logger   { return nopLogger{} }
+func (nopLogger) Enabled(Level) bool   { return false }
+
+// New returns a Logger writing one `ts=… level=… msg=… k=v …` line per
+// record to w, emitting records at or above min. Writes are serialized with
+// an internal mutex, so one logger may be shared across goroutines and
+// With-derived children (lines never interleave).
+func New(w io.Writer, min Level) Logger {
+	return &textLogger{out: &syncWriter{w: w}, min: min}
+}
+
+// syncWriter serializes writes from every logger sharing it.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) writeLine(line []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// A logging failure has no better place to be reported than the log
+	// itself; dropping the record is the only option.
+	_, _ = s.w.Write(line)
+}
+
+// textLogger is the key=value text implementation.
+type textLogger struct {
+	out   *syncWriter
+	min   Level
+	bound string // pre-rendered With fields, " k=v k=v"
+}
+
+func (t *textLogger) Enabled(l Level) bool { return l >= t.min && t.min < LevelOff }
+
+func (t *textLogger) With(kv ...any) Logger {
+	if len(kv) == 0 {
+		return t
+	}
+	var b strings.Builder
+	b.WriteString(t.bound)
+	appendPairs(&b, kv)
+	return &textLogger{out: t.out, min: t.min, bound: b.String()}
+}
+
+func (t *textLogger) Debug(msg string, kv ...any) { t.log(LevelDebug, msg, kv) }
+func (t *textLogger) Info(msg string, kv ...any)  { t.log(LevelInfo, msg, kv) }
+func (t *textLogger) Warn(msg string, kv ...any)  { t.log(LevelWarn, msg, kv) }
+func (t *textLogger) Error(msg string, kv ...any) { t.log(LevelError, msg, kv) }
+
+func (t *textLogger) log(l Level, msg string, kv []any) {
+	if !t.Enabled(l) {
+		return
+	}
+	var b strings.Builder
+	b.Grow(64 + len(msg) + len(t.bound) + 16*len(kv))
+	b.WriteString("ts=")
+	b.WriteString(time.Now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString(" level=")
+	b.WriteString(l.String())
+	b.WriteString(" msg=")
+	b.WriteString(quoteValue(msg))
+	b.WriteString(t.bound)
+	appendPairs(&b, kv)
+	b.WriteByte('\n')
+	t.out.writeLine([]byte(b.String()))
+}
+
+// appendPairs renders alternating key/value pairs as " k=v". A dangling key
+// gets the value "!MISSING"; a non-string key is rendered with %v.
+func appendPairs(b *strings.Builder, kv []any) {
+	for i := 0; i < len(kv); i += 2 {
+		b.WriteByte(' ')
+		if k, ok := kv[i].(string); ok {
+			b.WriteString(k)
+		} else {
+			b.WriteString(quoteValue(fmt.Sprintf("%v", kv[i])))
+		}
+		b.WriteByte('=')
+		if i+1 < len(kv) {
+			b.WriteString(formatValue(kv[i+1]))
+		} else {
+			b.WriteString("!MISSING")
+		}
+	}
+}
+
+func formatValue(v any) string {
+	switch x := v.(type) {
+	case string:
+		return quoteValue(x)
+	case error:
+		if x == nil {
+			return "<nil>"
+		}
+		return quoteValue(x.Error())
+	case fmt.Stringer:
+		return quoteValue(x.String())
+	default:
+		return quoteValue(fmt.Sprintf("%v", v))
+	}
+}
+
+// quoteValue quotes a value only when it needs it (spaces, quotes, '=' or
+// control characters), keeping the common case grep-friendly.
+func quoteValue(s string) string {
+	if s == "" {
+		return `""`
+	}
+	for _, r := range s {
+		if r <= ' ' || r == '"' || r == '=' || r == 0x7f {
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}

@@ -1,0 +1,170 @@
+package logging
+
+import (
+	"bytes"
+	"errors"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Level
+		err  bool
+	}{
+		{"debug", LevelDebug, false},
+		{"INFO", LevelInfo, false},
+		{" warn ", LevelWarn, false},
+		{"warning", LevelWarn, false},
+		{"Error", LevelError, false},
+		{"off", LevelOff, false},
+		{"none", LevelOff, false},
+		{"verbose", 0, true},
+		{"", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseLevel(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseLevel(%q): want error, got %v", c.in, got)
+			} else if !strings.Contains(err.Error(), strings.TrimSpace(c.in)) && c.in != "" {
+				t.Errorf("ParseLevel(%q) error does not name the value: %v", c.in, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseLevel(%q): %v", c.in, err)
+		} else if got != c.want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+var lineRE = regexp.MustCompile(`^ts=\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z level=(\w+) msg=(.*)$`)
+
+func TestTextLoggerFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelDebug)
+	l.Info("hello", "node", 3, "addr", "127.0.0.1:7000")
+	line := strings.TrimSuffix(buf.String(), "\n")
+	m := lineRE.FindStringSubmatch(line)
+	if m == nil {
+		t.Fatalf("line does not match schema: %q", line)
+	}
+	if m[1] != "info" {
+		t.Errorf("level = %q, want info", m[1])
+	}
+	if want := "hello node=3 addr=127.0.0.1:7000"; m[2] != want {
+		t.Errorf("payload = %q, want %q", m[2], want)
+	}
+}
+
+func TestTextLoggerQuoting(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelDebug)
+	l.Warn("two words", "err", errors.New(`dial "x": refused`), "empty", "", "eq", "a=b")
+	got := buf.String()
+	for _, want := range []string{
+		`msg="two words"`,
+		`err="dial \"x\": refused"`,
+		`empty=""`,
+		`eq="a=b"`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q: %q", want, got)
+		}
+	}
+}
+
+func TestTextLoggerLevelGate(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelWarn)
+	l.Debug("d")
+	l.Info("i")
+	if buf.Len() != 0 {
+		t.Fatalf("gated records emitted: %q", buf.String())
+	}
+	l.Warn("w")
+	l.Error("e")
+	if n := strings.Count(buf.String(), "\n"); n != 2 {
+		t.Fatalf("want 2 records, got %d: %q", n, buf.String())
+	}
+	if !l.Enabled(LevelError) || l.Enabled(LevelInfo) {
+		t.Errorf("Enabled gate wrong: error=%v info=%v", l.Enabled(LevelError), l.Enabled(LevelInfo))
+	}
+}
+
+func TestWithBindsFields(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelInfo).With("node", 7)
+	l.Info("up", "addr", ":9")
+	if got := buf.String(); !strings.Contains(got, "msg=up node=7 addr=:9") {
+		t.Fatalf("bound field missing: %q", got)
+	}
+	// The parent logger is unchanged.
+	buf.Reset()
+	New(&buf, LevelInfo).Info("plain")
+	if strings.Contains(buf.String(), "node=7") {
+		t.Fatalf("parent logger polluted: %q", buf.String())
+	}
+}
+
+func TestDanglingKey(t *testing.T) {
+	var buf bytes.Buffer
+	New(&buf, LevelInfo).Info("m", "alone")
+	if !strings.Contains(buf.String(), "alone=!MISSING") {
+		t.Fatalf("dangling key not marked: %q", buf.String())
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	l := Nop()
+	l.Debug("x")
+	l.Info("x")
+	l.Warn("x")
+	l.Error("x")
+	if l.Enabled(LevelError) {
+		t.Fatal("Nop().Enabled must be false")
+	}
+	if l.With("k", "v") == nil {
+		t.Fatal("Nop().With returned nil")
+	}
+}
+
+func TestOffEmitsNothing(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelOff)
+	l.Error("x")
+	if buf.Len() != 0 || l.Enabled(LevelError) {
+		t.Fatalf("LevelOff logger emitted: %q", buf.String())
+	}
+}
+
+func TestConcurrentWritesDoNotInterleave(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelInfo)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			child := l.With("g", g)
+			for i := 0; i < 50; i++ {
+				child.Info("tick", "i", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("want 400 lines, got %d", len(lines))
+	}
+	for _, line := range lines {
+		if !lineRE.MatchString(line) {
+			t.Fatalf("interleaved or malformed line: %q", line)
+		}
+	}
+}

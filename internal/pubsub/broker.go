@@ -190,6 +190,11 @@ type Broker struct {
 	// installs, giving compiledSub.regSeq its broker-wide registration
 	// order.
 	recCount uint64
+
+	// log holds the broker's structured logger as a loggerBox (observe.go);
+	// the zero Value means logging.Nop(). Read with one atomic load per
+	// logging site and invoked only outside mu.
+	log atomic.Value
 }
 
 // NewBroker creates a broker wired to a fabric. Neighbors are added with
@@ -290,6 +295,7 @@ func (b *Broker) Advertise(streamName string) {
 	}
 	neighbors := append([]topology.NodeID(nil), b.neighbors...)
 	b.mu.Unlock()
+	cAdvertises.Inc()
 	for _, n := range neighbors {
 		b.net.CountControl(b.Node, n, advertSize)
 		b.net.Peer(n).AdvertFrom(b.Node, streamName, b.Node, seq)
@@ -326,6 +332,7 @@ func (b *Broker) Unadvertise(streamName string) {
 	resend := b.pruneAdvertLocked(streamName, -1, false)
 	b.publishLocked()
 	b.mu.Unlock()
+	cUnadvertises.Inc()
 	for _, n := range neighbors {
 		b.net.CountControl(b.Node, n, advertSize)
 		b.net.Peer(n).UnadvertFrom(b.Node, streamName, b.Node, seq)
@@ -815,6 +822,7 @@ func (b *Broker) Subscribe(sub *Subscription, h Handler) error {
 	b.idx.locals.add(c)
 	b.publishLocked()
 	b.mu.Unlock()
+	cSubscribes.Inc()
 	b.propagate(sub, -1)
 	return nil
 }
@@ -860,6 +868,8 @@ func (b *Broker) Unsubscribe(id string) {
 	resend := b.unsuppressLocked(streams, targets, edges)
 	b.publishLocked()
 	b.mu.Unlock()
+	cUnsubscribes.Inc()
+	cRetractionsSent.Add(int64(len(targets)))
 	for _, n := range targets {
 		b.net.CountControl(b.Node, n, retractSize)
 		b.net.Peer(n).RetractFrom(b.Node, id, seq)
@@ -1128,6 +1138,7 @@ func (b *Broker) propagate(sub *Subscription, from topology.NodeID) {
 	}
 	ivs := query.SelectionIntervalsByAttr(sub.Filters)
 	targets := make([]topology.NodeID, 0, len(b.neighbors))
+	suppressed := 0
 	for _, n := range b.neighbors {
 		if n == from || rec.sentTo[n] || rec.coveredBy[n] != nil {
 			continue
@@ -1143,6 +1154,7 @@ func (b *Broker) propagate(sub *Subscription, from topology.NodeID) {
 		// adverts arrived was sent nowhere and guarantees nothing.
 		if cov := b.coverFor(n, sub, ivs); cov != nil {
 			suppressEdge(cov, rec, n)
+			suppressed++
 			continue
 		}
 		rec.sentTo[n] = true
@@ -1154,6 +1166,8 @@ func (b *Broker) propagate(sub *Subscription, from topology.NodeID) {
 	}
 	b.publishLocked()
 	b.mu.Unlock()
+	cSubsSent.Add(int64(len(targets)))
+	cSubsSuppressed.Add(int64(suppressed))
 	for _, n := range targets {
 		b.net.CountControl(b.Node, n, subSize(sub))
 		b.net.Peer(n).PropagateFrom(sub, b.Node)
@@ -1288,6 +1302,13 @@ func (b *Broker) route(t stream.Tuple, from topology.NodeID) {
 			locals, hops = b.matchIndexed(t, from, bufs, locals, hops)
 		}
 		b.mu.Unlock()
+	}
+	cRoutedTuples.Inc()
+	if len(locals) > 0 {
+		cLocalDeliveries.Add(int64(len(locals)))
+	}
+	if len(hops) > 0 {
+		cForwardedTuples.Add(int64(len(hops)))
 	}
 
 	// Local deliveries run first, in subscription-registration order,
@@ -1502,15 +1523,17 @@ func tupleSize(attrs int) int { return 16 + 8*attrs }
 // AddNeighbor registers an overlay neighbor.
 func (b *Broker) AddNeighbor(n topology.NodeID) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	for _, x := range b.neighbors {
 		if x == n {
+			b.mu.Unlock()
 			return
 		}
 	}
 	b.neighbors = append(b.neighbors, n)
 	b.snapAll = true // the epoch's frozen neighbor set must grow too
 	b.publishLocked()
+	b.mu.Unlock()
+	b.logger().Info("neighbor attached", "neighbor", n)
 }
 
 // neighborLocked reports whether n is a current overlay neighbor. Caller
@@ -1614,6 +1637,7 @@ func (b *Broker) DetachNeighbor(gone topology.NodeID) {
 	b.snapAll = true // neighbor set and direction map both shrank
 	b.publishLocked()
 	b.mu.Unlock()
+	b.logger().Info("neighbor detached", "neighbor", gone)
 }
 
 // clearTombstones drops every reorder tombstone (unadvert and retraction)

@@ -1,0 +1,177 @@
+package pubsub
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/logging"
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+// The observability tests run on the shared lineNet overlay (0-1-2-3,
+// pubsub_test.go) with the publisher at 0 and the subscriber at 2: node 3
+// stays idle, so flood reach and forwarding stop are both visible.
+
+// TestDrainLeavesNoResidualState: after every broker with state drains, no
+// broker in the overlay holds adverts or routing records for anyone — the
+// property the node-smoke lane asserts across real processes.
+func TestDrainLeavesNoResidualState(t *testing.T) {
+	net := lineNet(t)
+	b0, _ := net.Broker(0)
+	b1, _ := net.Broker(1)
+	b2, _ := net.Broker(2)
+
+	b0.Advertise("R")
+	hits := 0
+	if err := b2.Subscribe(&Subscription{ID: "s", Streams: []string{"R"}},
+		func(*Subscription, stream.Tuple) { hits++ }); err != nil {
+		t.Fatal(err)
+	}
+	b0.Publish(tuple("R", map[string]float64{"a": 1}))
+	if hits != 1 {
+		t.Fatalf("deliveries = %d, want 1 (overlay must route before drain)", hits)
+	}
+
+	// Publisher drains: its advert withdrawal must flood and take the
+	// subscription records it justified with it.
+	b0.Drain()
+	if own, _ := b0.AdvertStateSize(); own != 0 {
+		t.Fatalf("drained publisher still owns %d adverts", own)
+	}
+	for _, b := range []*Broker{b0, b1, b2} {
+		if _, learned := b.AdvertStateSize(); learned != 0 {
+			t.Fatalf("broker %d still holds %d learned adverts after publisher drain", b.Node, learned)
+		}
+		if remote, _ := b.RoutingStateSize(); remote != 0 {
+			t.Fatalf("broker %d still holds %d remote records after publisher drain", b.Node, remote)
+		}
+	}
+	// The subscriber's own client subscription survives its publisher.
+	if _, local := b2.RoutingStateSize(); local != 1 {
+		t.Fatalf("subscriber lost its local subscription: local = %d", local)
+	}
+
+	// Subscriber drains too: fully empty overlay.
+	b2.Drain()
+	assertDrained(t, net)
+
+	// Drain is idempotent.
+	b0.Drain()
+	b2.Drain()
+	assertDrained(t, net)
+}
+
+func TestDirStatesAndAdvertisedStreams(t *testing.T) {
+	net := lineNet(t)
+	b0, _ := net.Broker(0)
+	b1, _ := net.Broker(1)
+	b2, _ := net.Broker(2)
+
+	b0.Advertise("R")
+	b0.Advertise("S")
+	if err := b2.Subscribe(&Subscription{ID: "s", Streams: []string{"R"}}, func(*Subscription, stream.Tuple) {}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := b0.AdvertisedStreams(); len(got) != 2 || got[0] != "R" || got[1] != "S" {
+		t.Fatalf("AdvertisedStreams = %q, want [R S]", got)
+	}
+	if got := b1.AdvertisedStreams(); len(got) != 0 {
+		t.Fatalf("middle broker advertises %q, want none", got)
+	}
+
+	// The middle broker sees the adverts behind link 0 and the
+	// subscription behind link 2.
+	st := b1.DirStates()
+	if len(st) != 2 || st[0].Neighbor != 0 || st[1].Neighbor != 2 {
+		t.Fatalf("DirStates = %+v, want rows for neighbors 0 and 2", st)
+	}
+	if st[0].Adverts != 2 || st[0].Subs != 0 {
+		t.Fatalf("link to 0 = %+v, want 2 adverts, 0 subs", st[0])
+	}
+	if st[1].Adverts != 0 || st[1].Subs != 1 {
+		t.Fatalf("link to 2 = %+v, want 0 adverts, 1 sub", st[1])
+	}
+
+	b0.Drain()
+	b2.Drain()
+	for _, row := range b1.DirStates() {
+		if row.Subs != 0 || row.Adverts != 0 {
+			t.Fatalf("residual state after drain: %+v", row)
+		}
+	}
+	if got := b0.AdvertisedStreams(); len(got) != 0 {
+		t.Fatalf("AdvertisedStreams after drain = %q, want none", got)
+	}
+}
+
+// TestRouteCounters: routing moves the process-wide counters the /metrics
+// endpoint exposes. Counters never reset, so assertions are on deltas.
+func TestRouteCounters(t *testing.T) {
+	before := metrics.Counters()
+	net := lineNet(t)
+	b0, _ := net.Broker(0)
+	b2, _ := net.Broker(2)
+
+	b0.Advertise("R")
+	if err := b2.Subscribe(&Subscription{ID: "s", Streams: []string{"R"}}, func(*Subscription, stream.Tuple) {}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		b0.Publish(tuple("R", map[string]float64{"a": float64(i)}))
+	}
+	b2.Unsubscribe("s")
+	b0.Unadvertise("R")
+
+	after := metrics.Counters()
+	delta := func(name string) int64 { return after[name] - before[name] }
+	// Each publish routes at 0, 1 and 2: 15 route calls, 5 local
+	// deliveries at node 2, 10 link crossings.
+	if got := delta("pubsub.routed_tuples"); got != 15 {
+		t.Errorf("routed_tuples delta = %d, want 15", got)
+	}
+	if got := delta("pubsub.local_deliveries"); got != 5 {
+		t.Errorf("local_deliveries delta = %d, want 5", got)
+	}
+	if got := delta("pubsub.forwarded_tuples"); got != 10 {
+		t.Errorf("forwarded_tuples delta = %d, want 10", got)
+	}
+	for name, want := range map[string]int64{
+		"pubsub.advertises":   1,
+		"pubsub.unadvertises": 1,
+		"pubsub.subscribes":   1,
+		"pubsub.unsubscribes": 1,
+	} {
+		if got := delta(name); got != want {
+			t.Errorf("%s delta = %d, want %d", name, got, want)
+		}
+	}
+	// The subscription crossed links 2→1 and 1→0, and its retraction
+	// chased both records.
+	if got := delta("pubsub.subscriptions_sent"); got != 2 {
+		t.Errorf("subscriptions_sent delta = %d, want 2", got)
+	}
+	if got := delta("pubsub.retractions_sent"); got < 1 {
+		t.Errorf("retractions_sent delta = %d, want >= 1", got)
+	}
+}
+
+func TestSetLoggerCapturesLifecycle(t *testing.T) {
+	net := lineNet(t)
+	b0, _ := net.Broker(0)
+	var buf bytes.Buffer
+	b0.SetLogger(logging.New(&buf, logging.LevelDebug))
+	b0.Advertise("R")
+	b0.Drain()
+	out := buf.String()
+	for _, want := range []string{"msg=\"drain begin\"", "own_adverts=1", "msg=\"drain done\""} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log output missing %q:\n%s", want, out)
+		}
+	}
+	// A nil logger restores Nop without panicking.
+	b0.SetLogger(nil)
+	b0.Drain()
+}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/logging"
 	"repro/internal/topology"
 )
 
@@ -73,6 +74,11 @@ type Options struct {
 	// tests, benchmarks, and single-envelope peers (the negotiated
 	// fallback when a neighbor predates MsgBatch).
 	DisableBatching bool
+	// Logger receives the transport's structured link-lifecycle events:
+	// connect/dial failure at debug, terminal envelope loss at warn. Nil
+	// means logging.Nop(). Logging calls run on the pipe's sender
+	// goroutine, never under a pipe or node lock.
+	Logger logging.Logger
 }
 
 const (
@@ -96,6 +102,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DataQueueDepth <= 0 {
 		o.DataQueueDepth = defaultQueueDepth
+	}
+	if o.Logger == nil {
+		o.Logger = logging.Nop()
 	}
 	return o
 }
@@ -126,6 +135,13 @@ type peerPipe struct {
 	// highwater is the longest queue seen; its increments feed the
 	// monotone transport.queue_depth counter (sum of per-pipe marks).
 	highwater int
+	// Link health, read by Node.PipeStatus for the ops /healthz endpoint:
+	// connected tracks whether a live outbound connection is installed;
+	// lastErr remembers the most recent dial or write failure and is
+	// cleared by the next successful dial. A pipe that never needed to
+	// dial has both zero — healthy by default.
+	connected bool
+	lastErr   error
 
 	// Byte accounting (pubsub.Fabric Count* calls), per-peer atomics so
 	// accounting never contends with dial/send or Close. Integer sums
@@ -284,6 +300,9 @@ func (p *peerPipe) writeBatch(batch []Envelope, o Options) {
 		if err == nil {
 			return
 		}
+		p.mu.Lock()
+		p.lastErr = err
+		p.mu.Unlock()
 		p.evictConn()
 		if errors.Is(err, errClosed) {
 			return // teardown noise, not a lost link
@@ -321,6 +340,7 @@ func (p *peerPipe) surfaceLoss(env Envelope, err error) {
 		return
 	}
 	cSendFailures.Inc()
+	p.node.opts.Logger.Warn("envelope lost", "peer", p.id, "kind", env.Kind, "err", err)
 	if h := p.node.sendErrorHandler(); h != nil {
 		h(p.id, env.Kind, err)
 	}
@@ -382,7 +402,12 @@ func (p *peerPipe) dial() error {
 	}
 	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
-		return fmt.Errorf("transport: dial peer %d: %w", p.id, err)
+		err = fmt.Errorf("transport: dial peer %d: %w", p.id, err)
+		p.mu.Lock()
+		p.lastErr = err
+		p.mu.Unlock()
+		p.node.opts.Logger.Debug("dial failed", "peer", p.id, "addr", addr, "err", err)
+		return err
 	}
 	p.mu.Lock()
 	if p.closed {
@@ -392,9 +417,12 @@ func (p *peerPipe) dial() error {
 		return fmt.Errorf("transport: node %d: %w", p.node.ID, errClosed)
 	}
 	p.conn = conn
+	p.connected = true
+	p.lastErr = nil
 	p.mu.Unlock()
 	p.bw = bufio.NewWriterSize(conn, sendBufSize)
 	p.enc = gob.NewEncoder(p.bw)
+	p.node.opts.Logger.Debug("peer connected", "peer", p.id, "addr", addr)
 	return nil
 }
 
@@ -404,6 +432,7 @@ func (p *peerPipe) evictConn() {
 	p.mu.Lock()
 	conn := p.conn
 	p.conn = nil
+	p.connected = false
 	p.mu.Unlock()
 	p.bw, p.enc = nil, nil
 	if conn != nil {

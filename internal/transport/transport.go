@@ -54,6 +54,25 @@ const (
 	MsgBatch
 )
 
+// String names the kind for logs and loss reports.
+func (k MsgKind) String() string {
+	switch k {
+	case MsgAdvert:
+		return "advert"
+	case MsgSubscribe:
+		return "subscribe"
+	case MsgData:
+		return "data"
+	case MsgUnsubscribe:
+		return "unsubscribe"
+	case MsgUnadvertise:
+		return "unadvertise"
+	case MsgBatch:
+		return "batch"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
 // Envelope is the single wire message type.
 type Envelope struct {
 	Kind MsgKind
